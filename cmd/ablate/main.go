@@ -1,0 +1,97 @@
+// Command ablate runs the PPATuner design-choice ablations of DESIGN.md on
+// Scenario Two: transfer on/off, δ sweep, τ sweep, source-data size, and
+// batch selection.
+//
+// Usage:
+//
+//	ablate [-seeds N] [-space power-delay]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ppatuner"
+	"ppatuner/internal/core"
+	"ppatuner/internal/eval"
+)
+
+func main() {
+	nSeeds := flag.Int("seeds", 2, "seeds to average over")
+	spaceName := flag.String("space", "power-delay", "objective space")
+	flag.Parse()
+
+	s, err := ppatuner.ScenarioTwo()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
+		os.Exit(1)
+	}
+	var space ppatuner.ObjSpace
+	for _, sp := range ppatuner.ObjSpaces() {
+		if strings.EqualFold(strings.ReplaceAll(sp.Name, "-", ""), strings.ReplaceAll(*spaceName, "-", "")) {
+			space = sp
+		}
+	}
+	if space.Name == "" {
+		fmt.Fprintf(os.Stderr, "ablate: unknown space %q\n", *spaceName)
+		os.Exit(2)
+	}
+	seeds := make([]int64, *nSeeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+
+	type variant = struct {
+		Name   string
+		Mutate func(*core.Options)
+	}
+	groups := []struct {
+		title    string
+		variants []variant
+	}{
+		{"Transfer kernel (Eq. 7)", []variant{
+			{"transfer-on", func(o *core.Options) {}},
+			{"transfer-off", func(o *core.Options) { o.SourceX, o.SourceY = nil, nil }},
+		}},
+		{"Relaxation δ (Eq. 11/12)", []variant{
+			{"delta=0.01", func(o *core.Options) { o.DeltaFrac = 0.01 }},
+			{"delta=0.05", func(o *core.Options) { o.DeltaFrac = 0.05 }},
+			{"delta=0.15", func(o *core.Options) { o.DeltaFrac = 0.15 }},
+		}},
+		{"Region scaling τ (Eq. 9)", []variant{
+			{"tau=2.25", func(o *core.Options) { o.Tau = 2.25 }},
+			{"tau=4", func(o *core.Options) { o.Tau = 4 }},
+			{"tau=9", func(o *core.Options) { o.Tau = 9 }},
+		}},
+		{"Source-data volume", []variant{
+			{"src=50", func(o *core.Options) { trimSource(o, 50) }},
+			{"src=100", func(o *core.Options) { trimSource(o, 100) }},
+			{"src=200", func(o *core.Options) {}},
+		}},
+		{"Batch selection (Sec. 3.3)", []variant{
+			{"batch=1", func(o *core.Options) { o.Batch = 1 }},
+			{"batch=4", func(o *core.Options) { o.Batch = 4 }},
+		}},
+	}
+	for _, g := range groups {
+		fmt.Println("==", g.title)
+		rep, err := eval.AblationReport(s, space, seeds, g.variants)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+	}
+}
+
+func trimSource(o *core.Options, n int) {
+	if n > len(o.SourceX) {
+		return
+	}
+	o.SourceX = o.SourceX[:n]
+	for k := range o.SourceY {
+		o.SourceY[k] = o.SourceY[k][:n]
+	}
+}

@@ -1,0 +1,103 @@
+// Command fig3 regenerates the paper's Figure 3: the golden Pareto front of
+// the Target2 benchmark versus the front PPATuner learns, in power-vs-delay
+// space. It prints both series as CSV and renders an ASCII scatter plot.
+//
+// Usage:
+//
+//	fig3 [-seed N] [-csv PATH]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"ppatuner"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	csvPath := flag.String("csv", "", "optional path to write the two series as CSV")
+	flag.Parse()
+
+	golden, learned, err := ppatuner.Figure3(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fig3: %v\n", err)
+		os.Exit(1)
+	}
+
+	var b strings.Builder
+	b.WriteString("series,power_mw,delay_ns\n")
+	for _, p := range golden {
+		fmt.Fprintf(&b, "golden,%.6f,%.6f\n", p[0], p[1])
+	}
+	for _, p := range learned {
+		fmt.Fprintf(&b, "ppatuner,%.6f,%.6f\n", p[0], p[1])
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fig3: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	} else {
+		fmt.Print(b.String())
+	}
+
+	fmt.Println()
+	fmt.Println("Figure 3: Pareto frontiers, power (mW, y) vs delay (ns, x) on Target2")
+	fmt.Println("  o = golden front (best in benchmark)   * = PPATuner-learned front")
+	fmt.Print(asciiScatter(golden, learned, 72, 22))
+}
+
+// asciiScatter renders the two point sets on a character grid.
+func asciiScatter(golden, learned [][]float64, w, h int) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, set := range [][][]float64{golden, learned} {
+		for _, p := range set {
+			minX = math.Min(minX, p[1])
+			maxX = math.Max(maxX, p[1])
+			minY = math.Min(minY, p[0])
+			maxY = math.Max(maxY, p[0])
+		}
+	}
+	if !(maxX > minX) || !(maxY > minY) {
+		return "(degenerate ranges)\n"
+	}
+	padX := 0.05 * (maxX - minX)
+	padY := 0.05 * (maxY - minY)
+	minX, maxX = minX-padX, maxX+padX
+	minY, maxY = minY-padY, maxY+padY
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	put := func(p []float64, ch byte) {
+		c := int((p[1] - minX) / (maxX - minX) * float64(w-1))
+		r := int((p[0] - minY) / (maxY - minY) * float64(h-1))
+		r = h - 1 - r // y grows upward
+		if grid[r][c] != ' ' && grid[r][c] != ch {
+			grid[r][c] = '@' // overlap of the two series
+			return
+		}
+		grid[r][c] = ch
+	}
+	for _, p := range golden {
+		put(p, 'o')
+	}
+	for _, p := range learned {
+		put(p, '*')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.3f +%s\n", maxY, strings.Repeat("-", w))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%8s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%8.3f +%s\n", minY, strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s%-8.4f%s%8.4f\n", "", minX, strings.Repeat(" ", w-16), maxX)
+	return b.String()
+}

@@ -1,0 +1,84 @@
+// Command genbench generates the paper's offline benchmark datasets
+// (Source1, Target1, Source2, Target2 — Table 1) by Latin-hypercube sampling
+// the tool parameter spaces and running every configuration through the flow
+// simulator. Datasets are written as CSV; -stats prints the Table 1
+// parameter statistics instead.
+//
+// Usage:
+//
+//	genbench -out DIR [-bench NAME] [-points N] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ppatuner"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory for CSV files")
+	bench := flag.String("bench", "all", "benchmark to generate: Source1|Target1|Source2|Target2|all")
+	stats := flag.Bool("stats", false, "print Table 1 parameter statistics and exit")
+	flag.Parse()
+
+	spaces := map[string]*ppatuner.Space{
+		"Source1": ppatuner.Source1Space(),
+		"Target1": ppatuner.Target1Space(),
+		"Source2": ppatuner.Source2Space(),
+		"Target2": ppatuner.Target2Space(),
+	}
+	order := []string{"Source1", "Target1", "Source2", "Target2"}
+
+	if *stats {
+		fmt.Println("Table 1: the statistics of parameters of the PD tool on benchmarks")
+		for _, name := range order {
+			fmt.Printf("\n%s (%d parameters):\n", name, spaces[name].Dim())
+			fmt.Println("  parameter\tkind\tmin\tmax")
+			for _, row := range spaces[name].Stats() {
+				fmt.Println("  " + row)
+			}
+		}
+		return
+	}
+
+	gens := map[string]func() (*ppatuner.Dataset, error){
+		"Source1": ppatuner.Source1,
+		"Target1": ppatuner.Target1,
+		"Source2": ppatuner.Source2,
+		"Target2": ppatuner.Target2,
+	}
+	var names []string
+	if *bench == "all" {
+		names = order
+	} else if _, ok := gens[*bench]; ok {
+		names = []string{*bench}
+	} else {
+		fmt.Fprintf(os.Stderr, "genbench: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	for _, name := range names {
+		fmt.Printf("generating %s ...\n", name)
+		ds, err := gens[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genbench: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := ds.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "genbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		front := ds.GoldenFront([]ppatuner.Metric{ppatuner.Power, ppatuner.Delay})
+		fmt.Printf("  %d points -> %s (power-delay golden front: %d points)\n", ds.N(), path, len(front))
+	}
+}

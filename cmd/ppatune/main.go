@@ -1,0 +1,74 @@
+// Command ppatune runs one tuner (PPATuner or a baseline) on one benchmark
+// scenario and objective space, printing the hyper-volume error, ADRS and
+// tool-run count — one cell of the paper's Table 2 / Table 3.
+//
+// Usage:
+//
+//	ppatune [-scenario 1|2] [-space area-delay|power-delay|area-power-delay]
+//	        [-method PPATuner|TCAD'19|MLCAD'19|DAC'19|ASPDAC'20] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ppatuner"
+	"ppatuner/internal/eval"
+)
+
+func main() {
+	scenario := flag.Int("scenario", 2, "scenario: 1 (Source1->Target1) or 2 (Source2->Target2)")
+	spaceName := flag.String("space", "power-delay", "objective space: area-delay | power-delay | area-power-delay")
+	method := flag.String("method", "PPATuner", "tuner: PPATuner | TCAD'19 | MLCAD'19 | DAC'19 | ASPDAC'20")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var s *ppatuner.Scenario
+	var err error
+	switch *scenario {
+	case 1:
+		s, err = ppatuner.ScenarioOne()
+	case 2:
+		s, err = ppatuner.ScenarioTwo()
+	default:
+		fmt.Fprintln(os.Stderr, "ppatune: -scenario must be 1 or 2")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
+		os.Exit(1)
+	}
+
+	var space ppatuner.ObjSpace
+	found := false
+	for _, sp := range ppatuner.ObjSpaces() {
+		if strings.EqualFold(strings.ReplaceAll(sp.Name, "-", ""), strings.ReplaceAll(*spaceName, "-", "")) {
+			space = sp
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "ppatune: unknown objective space %q\n", *spaceName)
+		os.Exit(2)
+	}
+
+	m := eval.Method(*method)
+	fmt.Printf("%s | %s | %s (seed %d)\n", s.Name, space.Name, m, *seed)
+	out, err := eval.RunMethod(m, s, space, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
+		os.Exit(1)
+	}
+	hv, adrs := eval.Score(s, space, out)
+	fmt.Printf("hyper-volume error: %.4f\n", hv)
+	fmt.Printf("ADRS:               %.4f\n", adrs)
+	fmt.Printf("tool runs:          %d\n", out.Runs)
+	fmt.Printf("predicted Pareto-optimal configurations: %d\n", len(out.ParetoIdx))
+	for _, i := range out.ParetoIdx {
+		p := s.Target.Points[i]
+		fmt.Printf("  power=%.3f mW delay=%.4f ns area=%.1f um2  %s\n",
+			p.QoR.PowerMW, p.QoR.DelayNS, p.QoR.AreaUm2, p.Config)
+	}
+}

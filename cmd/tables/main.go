@@ -1,0 +1,54 @@
+// Command tables regenerates the paper's Table 2 (Scenario One: the whole
+// performance comparison on Target1) and Table 3 (Scenario Two: Target2),
+// running all five tuners over the three objective spaces and averaging over
+// seeds.
+//
+// Usage:
+//
+//	tables [-table 2|3|both] [-seeds N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ppatuner"
+)
+
+func main() {
+	table := flag.String("table", "both", "which table to regenerate: 2 | 3 | both")
+	nSeeds := flag.Int("seeds", 3, "number of seeds to average over")
+	flag.Parse()
+
+	seeds := make([]int64, *nSeeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+
+	run := func(name string, mk func() (*ppatuner.Scenario, error)) {
+		t0 := time.Now()
+		s, err := mk()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("— %s (benchmark ready in %v) —\n", name, time.Since(t0).Round(time.Second))
+		t0 = time.Now()
+		tbl, err := ppatuner.BuildTable(s, seeds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(tbl.Format())
+		fmt.Printf("(computed in %v over %d seed(s))\n\n", time.Since(t0).Round(time.Second), len(seeds))
+	}
+
+	if *table == "2" || *table == "both" {
+		run("Table 2", ppatuner.ScenarioOne)
+	}
+	if *table == "3" || *table == "both" {
+		run("Table 3", ppatuner.ScenarioTwo)
+	}
+}

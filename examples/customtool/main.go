@@ -1,0 +1,84 @@
+// Customtool: wire your own EDA tool into PPATuner.
+//
+// PPATuner only needs two things from you: a parameter Space describing your
+// tool's knobs, and an Evaluator that invokes the tool for a configuration
+// and returns the QoR objective vector. This example defines a 4-parameter
+// synthesis-like tool with an analytic QoR model standing in for the real
+// binary — replace `runMyTool` with a call into your flow scripts and
+// everything else stays the same.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"ppatuner"
+	"ppatuner/internal/sample"
+)
+
+// runMyTool pretends to be your tool: it maps a configuration to
+// (runtime-weighted energy, slack-derived delay). Swap this out for an
+// exec.Command into your own flow.
+func runMyTool(cfg ppatuner.Config) (energy, delay float64) {
+	effort := 0.0
+	if cfg.Enum("effort") == "high" {
+		effort = 1
+	}
+	vdd := cfg.Float("vdd")
+	gates := float64(cfg.Int("max_gates"))
+	retime := 0.0
+	if cfg.Bool("retime") {
+		retime = 1
+	}
+	delay = 2.2 - 0.9*(vdd-0.6)/0.4 - 0.25*effort - 0.15*retime + 0.3*math.Sin(gates/4000)
+	energy = 0.8 + 2.2*vdd*vdd + 0.35*effort + 0.2*retime + gates/30000
+	return energy, delay
+}
+
+func main() {
+	space, err := ppatuner.NewSpace("my-synth-tool", []ppatuner.Param{
+		{Name: "vdd", Kind: ppatuner.Float, Min: 0.6, Max: 1.0},
+		{Name: "effort", Kind: ppatuner.Enum, Levels: []string{"normal", "high"}},
+		{Name: "max_gates", Kind: ppatuner.Int, Min: 5000, Max: 30000},
+		{Name: "retime", Kind: ppatuner.Bool},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	cfgs := sample.LHSConfigs(rng, space, 120)
+	pool := make([][]float64, len(cfgs))
+	for i, c := range cfgs {
+		pool[i] = c.Unit()
+	}
+
+	evaluate := func(i int) ([]float64, error) {
+		e, d := runMyTool(cfgs[i])
+		return []float64{e, d}, nil
+	}
+
+	tn, err := ppatuner.NewTuner(pool, evaluate, ppatuner.TunerOptions{
+		NumObjectives: 2,
+		InitTarget:    10,
+		MaxIter:       50,
+		Rng:           rng,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tn.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("evaluated %d of %d configurations; %d Pareto-optimal settings:\n\n",
+		res.Runs, len(pool), len(res.ParetoIdx))
+	fmt.Println("energy     delay      configuration")
+	for _, i := range res.ParetoIdx {
+		e, d := runMyTool(cfgs[i])
+		fmt.Printf("%8.3f  %8.3f   %s\n", e, d, cfgs[i])
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: tune the physical-design flow on the small MAC design in
+// power-vs-delay space with PPATuner, from scratch, in a couple of minutes.
+//
+// This example builds a small candidate pool by Latin-hypercube sampling the
+// Target1 parameter space, lets PPATuner pick which configurations to send
+// through the flow simulator, and prints the Pareto-optimal tool settings it
+// finds — including how much of the pool it never had to evaluate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ppatuner"
+	"ppatuner/internal/sample"
+)
+
+func main() {
+	design := ppatuner.SmallMAC()
+	space := ppatuner.Target1Space()
+	rng := rand.New(rand.NewSource(7))
+
+	// Candidate pool: 160 Latin-hypercube configurations. In a real session
+	// this is the exported "what-if" list a designer wants ranked.
+	cfgs := sample.LHSConfigs(rng, space, 160)
+	pool := make([][]float64, len(cfgs))
+	for i, c := range cfgs {
+		pool[i] = c.Unit()
+	}
+
+	objs := []ppatuner.Metric{ppatuner.Power, ppatuner.Delay}
+	toolRuns := 0
+	evaluate := func(i int) ([]float64, error) {
+		toolRuns++
+		q, _, err := ppatuner.RunFlow(design, cfgs[i])
+		if err != nil {
+			return nil, err
+		}
+		return q.Vector(objs), nil
+	}
+
+	tn, err := ppatuner.NewTuner(pool, evaluate, ppatuner.TunerOptions{
+		NumObjectives: len(objs),
+		InitTarget:    12,
+		MaxIter:       60,
+		Rng:           rng,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tn.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pool: %d configurations, tool runs spent: %d (%.0f%% of the pool untouched)\n",
+		len(pool), res.Runs, 100*float64(len(pool)-res.Runs)/float64(len(pool)))
+	fmt.Printf("predicted Pareto-optimal settings: %d\n\n", len(res.ParetoIdx))
+	fmt.Println("power(mW)  delay(ns)  configuration")
+	for _, i := range res.ParetoIdx {
+		q, _, err := ppatuner.RunFlow(design, cfgs[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9.3f  %9.4f  %s\n", q.PowerMW, q.DelayNS, cfgs[i])
+	}
+}

@@ -1,0 +1,3 @@
+module ppatuner
+
+go 1.22

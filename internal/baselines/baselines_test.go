@@ -1,0 +1,254 @@
+// Package baselines_test exercises the four reimplemented prior-art tuners
+// on a shared synthetic problem, checking budgets, determinism, result
+// sanity and the relative quality ordering the paper's tables rely on.
+package baselines_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ppatuner/internal/baselines/fist"
+	"ppatuner/internal/baselines/lcbbo"
+	"ppatuner/internal/baselines/pal"
+	"ppatuner/internal/baselines/recsys"
+	"ppatuner/internal/pareto"
+)
+
+func synthObj(x []float64) []float64 {
+	f1 := x[0] + 0.25*x[1]*x[1] + 0.15*math.Sin(5*x[0]+3*x[1])
+	f2 := 1 - x[0] + 0.25*(1-x[1])*(1-x[1]) + 0.15*math.Cos(4*x[0]-2*x[1])
+	return []float64{f1, f2}
+}
+
+func synthPool(seed int64, n int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([][]float64, n)
+	for i := range pool {
+		pool[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	return pool
+}
+
+func evalFn(pool [][]float64) func(int) ([]float64, error) {
+	return func(i int) ([]float64, error) { return synthObj(pool[i]), nil }
+}
+
+func adrsOf(t *testing.T, pool [][]float64, idx []int) float64 {
+	t.Helper()
+	all := make([][]float64, len(pool))
+	for i := range pool {
+		all[i] = synthObj(pool[i])
+	}
+	golden := pareto.FrontPoints(all)
+	var approx [][]float64
+	for _, i := range idx {
+		approx = append(approx, synthObj(pool[i]))
+	}
+	return pareto.ADRS(golden, approx)
+}
+
+func TestPALRunsAndQuality(t *testing.T) {
+	pool := synthPool(1, 120)
+	res, err := pal.Run(pool, evalFn(pool), pal.Options{
+		NumObjectives: 2, InitTarget: 12, MaxIter: 150,
+		Rng: rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ParetoIdx) == 0 {
+		t.Fatal("empty Pareto set")
+	}
+	if res.Runs > 12+150 {
+		t.Errorf("runs %d exceed budget", res.Runs)
+	}
+	if a := adrsOf(t, pool, res.ParetoIdx); a > 0.2 {
+		t.Errorf("PAL ADRS = %g, want <= 0.2", a)
+	}
+}
+
+func TestLCBBOBudgetRespected(t *testing.T) {
+	pool := synthPool(3, 150)
+	res, err := lcbbo.Run(pool, evalFn(pool), lcbbo.Options{
+		NumObjectives: 2, Budget: 60, Rng: rand.New(rand.NewSource(4)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 60 {
+		t.Errorf("runs = %d, want exactly the 60 budget", res.Runs)
+	}
+	if len(res.ParetoIdx) == 0 {
+		t.Fatal("empty Pareto set")
+	}
+	if a := adrsOf(t, pool, res.ParetoIdx); a > 0.5 {
+		t.Errorf("LCB-BO ADRS = %g, want <= 0.5", a)
+	}
+	// The returned set must be mutually non-dominated.
+	for _, i := range res.ParetoIdx {
+		for _, j := range res.ParetoIdx {
+			if i != j && pareto.Dominates(synthObj(pool[j]), synthObj(pool[i])) {
+				t.Fatalf("returned point %d dominated by %d", i, j)
+			}
+		}
+	}
+}
+
+func TestLCBBOBudgetLargerThanPool(t *testing.T) {
+	pool := synthPool(5, 30)
+	res, err := lcbbo.Run(pool, evalFn(pool), lcbbo.Options{
+		NumObjectives: 2, Budget: 500, Rng: rand.New(rand.NewSource(6)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 30 {
+		t.Errorf("runs = %d, want clamped to pool size 30", res.Runs)
+	}
+}
+
+func TestLCBBOValidation(t *testing.T) {
+	pool := synthPool(7, 10)
+	if _, err := lcbbo.Run(nil, evalFn(pool), lcbbo.Options{NumObjectives: 2, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := lcbbo.Run(pool, evalFn(pool), lcbbo.Options{NumObjectives: 2}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := lcbbo.Run(pool, evalFn(pool), lcbbo.Options{Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("zero objectives accepted")
+	}
+}
+
+func TestRecsysBudgetAndQuality(t *testing.T) {
+	pool := synthPool(8, 150)
+	res, err := recsys.Run(pool, evalFn(pool), recsys.Options{
+		NumObjectives: 2, Budget: 70, Rng: rand.New(rand.NewSource(9)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 70 {
+		t.Errorf("runs = %d, want 70", res.Runs)
+	}
+	if len(res.ParetoIdx) == 0 {
+		t.Fatal("empty Pareto set")
+	}
+	// Fixed-direction scalarisation covers the front coarsely; the
+	// recommender is the weakest method in the paper, so the bar is loose.
+	if a := adrsOf(t, pool, res.ParetoIdx); a > 0.6 {
+		t.Errorf("recsys ADRS = %g, want <= 0.6", a)
+	}
+}
+
+func TestRecsysValidation(t *testing.T) {
+	pool := synthPool(10, 10)
+	if _, err := recsys.Run(nil, evalFn(pool), recsys.Options{NumObjectives: 2, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := recsys.Run(pool, evalFn(pool), recsys.Options{NumObjectives: 2}); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestFISTUsesSourceImportance(t *testing.T) {
+	pool := synthPool(11, 150)
+	// Source data over a 5-dim space where only dims 0 and 1 matter; FIST
+	// must discover that.
+	srcRng := rand.New(rand.NewSource(12))
+	var srcX [][]float64
+	srcY := make([][]float64, 2)
+	for i := 0; i < 120; i++ {
+		x := []float64{srcRng.Float64(), srcRng.Float64()}
+		srcX = append(srcX, x)
+		y := synthObj(x)
+		srcY[0] = append(srcY[0], y[0])
+		srcY[1] = append(srcY[1], y[1])
+	}
+	res, err := fist.Run(pool, evalFn(pool), fist.Options{
+		NumObjectives: 2, Budget: 70, SourceX: srcX, SourceY: srcY,
+		TopFeatures: 1, Rng: rand.New(rand.NewSource(13)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 70 {
+		t.Errorf("runs = %d, want 70", res.Runs)
+	}
+	if len(res.ParetoIdx) == 0 {
+		t.Fatal("empty Pareto set")
+	}
+	if len(res.Importance) != 2 {
+		t.Fatalf("importance dim %d", len(res.Importance))
+	}
+	if a := adrsOf(t, pool, res.ParetoIdx); a > 0.5 {
+		t.Errorf("FIST ADRS = %g, want <= 0.5", a)
+	}
+}
+
+func TestFISTWithoutSource(t *testing.T) {
+	pool := synthPool(14, 100)
+	res, err := fist.Run(pool, evalFn(pool), fist.Options{
+		NumObjectives: 2, Budget: 50, Rng: rand.New(rand.NewSource(15)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 50 || len(res.ParetoIdx) == 0 {
+		t.Fatalf("runs=%d pareto=%d", res.Runs, len(res.ParetoIdx))
+	}
+}
+
+func TestFISTValidation(t *testing.T) {
+	pool := synthPool(16, 10)
+	if _, err := fist.Run(nil, evalFn(pool), fist.Options{NumObjectives: 2, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := fist.Run(pool, evalFn(pool), fist.Options{NumObjectives: 2}); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+// TestBaselinesDeterministic: every baseline must be reproducible for a
+// fixed seed.
+func TestBaselinesDeterministic(t *testing.T) {
+	pool := synthPool(17, 80)
+	type runner func(seed int64) []int
+	runners := map[string]runner{
+		"lcbbo": func(seed int64) []int {
+			r, err := lcbbo.Run(pool, evalFn(pool), lcbbo.Options{NumObjectives: 2, Budget: 40, Rng: rand.New(rand.NewSource(seed))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.EvaluatedIdx
+		},
+		"recsys": func(seed int64) []int {
+			r, err := recsys.Run(pool, evalFn(pool), recsys.Options{NumObjectives: 2, Budget: 40, Rng: rand.New(rand.NewSource(seed))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.EvaluatedIdx
+		},
+		"fist": func(seed int64) []int {
+			r, err := fist.Run(pool, evalFn(pool), fist.Options{NumObjectives: 2, Budget: 40, Rng: rand.New(rand.NewSource(seed))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.EvaluatedIdx
+		},
+	}
+	for name, run := range runners {
+		a, b := run(21), run(21)
+		if len(a) != len(b) {
+			t.Errorf("%s: lengths differ", name)
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: evaluation order differs at %d", name, i)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package recsys implements the DAC'19 baseline ("A learning-based
+// recommender system for autotuning design flows"): parameter
+// configurations are treated as sets of (parameter, level) items and QoR
+// prediction as a rating-prediction problem, solved with a second-order
+// factorization machine (bias per item plus latent-factor pairwise
+// interactions — the matrix/tensor-completion machinery of recommender
+// systems). The tuner alternates retraining on the evaluated configurations
+// with recommending the best-predicted unevaluated ones, under a fixed
+// tool-run budget and ε-greedy exploration.
+package recsys
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ppatuner/internal/baselines/scalarize"
+)
+
+// Options configures the recommender baseline.
+type Options struct {
+	NumObjectives int
+	// Budget is the total number of tool evaluations (including init).
+	Budget int
+	// InitTarget seeds the model (default Budget/8, at least 12).
+	InitTarget int
+	// Buckets quantises each parameter dimension (default 6).
+	Buckets int
+	// LatentDim is the factor rank (default 4).
+	LatentDim int
+	// Epsilon is the exploration rate (default 0.1).
+	Epsilon float64
+	// Retrain period in evaluations (default 10).
+	Retrain int
+	Rng     *rand.Rand
+}
+
+// Result reports the outcome.
+type Result struct {
+	ParetoIdx    []int
+	EvaluatedIdx []int
+	Runs         int
+}
+
+// fm is a per-objective factorization machine over one-hot (dim, bucket)
+// items.
+type fm struct {
+	mu    float64
+	bias  [][]float64   // [dim][bucket]
+	lat   [][][]float64 // [dim][bucket][latent]
+	dim   int
+	bkt   int
+	rank  int
+	items func(x []float64) []int // bucket index per dim
+	// postMean/postSd de-standardise predictions after train.
+	postMean, postSd float64
+}
+
+func newFM(dim, buckets, rank int, rng *rand.Rand) *fm {
+	m := &fm{dim: dim, bkt: buckets, rank: rank}
+	m.bias = make([][]float64, dim)
+	m.lat = make([][][]float64, dim)
+	for d := 0; d < dim; d++ {
+		m.bias[d] = make([]float64, buckets)
+		m.lat[d] = make([][]float64, buckets)
+		for b := 0; b < buckets; b++ {
+			m.lat[d][b] = make([]float64, rank)
+			for r := 0; r < rank; r++ {
+				m.lat[d][b][r] = 0.01 * rng.NormFloat64()
+			}
+		}
+	}
+	m.items = func(x []float64) []int {
+		out := make([]int, dim)
+		for d := 0; d < dim; d++ {
+			b := int(x[d] * float64(buckets))
+			if b >= buckets {
+				b = buckets - 1
+			}
+			if b < 0 {
+				b = 0
+			}
+			out[d] = b
+		}
+		return out
+	}
+	return m
+}
+
+func (m *fm) predict(x []float64) float64 {
+	it := m.items(x)
+	out := m.mu
+	// Pairwise interactions via the standard FM identity:
+	// Σ_{d<e} v_d·v_e = ½(‖Σv‖² − Σ‖v‖²).
+	sum := make([]float64, m.rank)
+	var sumSq float64
+	for d, b := range it {
+		out += m.bias[d][b]
+		v := m.lat[d][b]
+		for r := 0; r < m.rank; r++ {
+			sum[r] += v[r]
+			sumSq += v[r] * v[r]
+		}
+	}
+	var inter float64
+	for r := 0; r < m.rank; r++ {
+		inter += sum[r] * sum[r]
+	}
+	out += 0.5 * (inter - sumSq)
+	return out
+}
+
+// train runs SGD epochs on (xs, ys), standardising internally.
+func (m *fm) train(xs [][]float64, ys []float64, epochs int, rng *rand.Rand) {
+	if len(xs) == 0 {
+		return
+	}
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var sd float64
+	for _, y := range ys {
+		sd += (y - mean) * (y - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(ys)))
+	if sd < 1e-12 {
+		sd = 1
+	}
+	m.mu = 0
+	lr, reg := 0.05, 0.01
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	for ep := 0; ep < epochs; ep++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, i := range order {
+			m.predictStdGrad(xs[i], (ys[i]-mean)/sd, lr, reg)
+		}
+	}
+	m.postMean, m.postSd = mean, sd
+}
+
+func (m *fm) predictRaw(x []float64) float64 {
+	return m.postMean + m.postSd*m.predict(x)
+}
+
+// predictStdGrad performs one SGD step on the standardised sample.
+func (m *fm) predictStdGrad(x []float64, y float64, lr, reg float64) {
+	it := m.items(x)
+	pred := m.predict(x)
+	e := pred - y
+	m.mu -= lr * e
+	sum := make([]float64, m.rank)
+	for d, b := range it {
+		v := m.lat[d][b]
+		for r := 0; r < m.rank; r++ {
+			sum[r] += v[r]
+		}
+	}
+	for d, b := range it {
+		m.bias[d][b] -= lr * (e + reg*m.bias[d][b])
+		v := m.lat[d][b]
+		for r := 0; r < m.rank; r++ {
+			grad := sum[r] - v[r]
+			v[r] -= lr * (e*grad + reg*v[r])
+		}
+	}
+}
+
+// Run executes the recommender-system tuner.
+func Run(pool [][]float64, eval func(int) ([]float64, error), opt Options) (*Result, error) {
+	if len(pool) == 0 {
+		return nil, errors.New("recsys: empty pool")
+	}
+	if opt.Rng == nil {
+		return nil, errors.New("recsys: Options.Rng is required")
+	}
+	if opt.NumObjectives < 1 {
+		return nil, fmt.Errorf("recsys: NumObjectives = %d", opt.NumObjectives)
+	}
+	if opt.Budget <= 0 {
+		opt.Budget = 600
+	}
+	if opt.Budget > len(pool) {
+		opt.Budget = len(pool)
+	}
+	if opt.InitTarget <= 0 {
+		opt.InitTarget = opt.Budget / 8
+		if opt.InitTarget < 12 {
+			opt.InitTarget = 12
+		}
+	}
+	if opt.Buckets <= 1 {
+		opt.Buckets = 6
+	}
+	if opt.LatentDim <= 0 {
+		opt.LatentDim = 4
+	}
+	if opt.Epsilon <= 0 {
+		opt.Epsilon = 0.1
+	}
+	if opt.Retrain <= 0 {
+		opt.Retrain = 10
+	}
+
+	dim := len(pool[0])
+	known := map[int][]float64{}
+	var evaluated []int
+	observe := func(i int) error {
+		y, err := eval(i)
+		if err != nil {
+			return fmt.Errorf("recsys: evaluation %d: %w", i, err)
+		}
+		if len(y) != opt.NumObjectives {
+			return fmt.Errorf("recsys: evaluator returned %d objectives, want %d", len(y), opt.NumObjectives)
+		}
+		known[i] = y
+		evaluated = append(evaluated, i)
+		return nil
+	}
+
+	init := opt.InitTarget
+	if init > opt.Budget {
+		init = opt.Budget
+	}
+	for _, i := range opt.Rng.Perm(len(pool))[:init] {
+		if err := observe(i); err != nil {
+			return nil, err
+		}
+	}
+
+	models := make([]*fm, opt.NumObjectives)
+	for k := range models {
+		models[k] = newFM(dim, opt.Buckets, opt.LatentDim, opt.Rng)
+	}
+	retrain := func() {
+		var xs [][]float64
+		yss := make([][]float64, opt.NumObjectives)
+		for _, i := range evaluated {
+			xs = append(xs, pool[i])
+			for k := 0; k < opt.NumObjectives; k++ {
+				yss[k] = append(yss[k], known[i][k])
+			}
+		}
+		for k, m := range models {
+			m.train(xs, yss[k], 30, opt.Rng)
+		}
+	}
+	retrain()
+
+	dirs := scalarize.Directions(opt.NumObjectives, 1)
+	sinceTrain := 0
+	for len(evaluated) < opt.Budget {
+		var pick int
+		if opt.Rng.Float64() < opt.Epsilon {
+			// ε-exploration: random unevaluated candidate.
+			pick = -1
+			perm := opt.Rng.Perm(len(pool))
+			for _, i := range perm {
+				if _, done := known[i]; !done {
+					pick = i
+					break
+				}
+			}
+		} else {
+			// Recommend along the current fixed preference direction (the
+			// original recommender scores a scalar QoR).
+			w := dirs[scalarize.Segment(len(evaluated)-init, opt.Budget-init, len(dirs))]
+			pick = -1
+			bestScore := math.Inf(1)
+			for i := range pool {
+				if _, done := known[i]; done {
+					continue
+				}
+				var score float64
+				for k, m := range models {
+					score += w[k] * m.predictRaw(pool[i])
+				}
+				if score < bestScore {
+					bestScore = score
+					pick = i
+				}
+			}
+		}
+		if pick < 0 {
+			// Model predictions can degenerate (NaN scores from an SGD
+			// blow-up); fall back to random exploration instead of quitting
+			// the budget early.
+			for _, i := range opt.Rng.Perm(len(pool)) {
+				if _, done := known[i]; !done {
+					pick = i
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		if err := observe(pick); err != nil {
+			return nil, err
+		}
+		sinceTrain++
+		if sinceTrain >= opt.Retrain {
+			retrain()
+			sinceTrain = 0
+		}
+	}
+
+	return &Result{ParetoIdx: nonDominated(known), EvaluatedIdx: evaluated, Runs: len(evaluated)}, nil
+}
+
+func nonDominated(known map[int][]float64) []int {
+	var out []int
+	for i, yi := range known {
+		dominated := false
+		for j, yj := range known {
+			if i != j && dominates(yj, yi) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func dominates(a, b []float64) bool {
+	strict := false
+	for k := range a {
+		if a[k] > b[k] {
+			return false
+		}
+		if a[k] < b[k] {
+			strict = true
+		}
+	}
+	return strict
+}

@@ -1,0 +1,54 @@
+// Package scalarize provides the fixed preference directions the adapted
+// single-objective baselines optimise. MLCAD'19, DAC'19 and ASPDAC'20 are
+// scalar-QoR tuners; following standard practice (and the only faithful way
+// to run them on a Pareto task), their tool-run budget is split across a
+// small set of fixed weight vectors, each segment optimising one weighted
+// objective; the reported front is the non-dominated set of everything
+// evaluated.
+package scalarize
+
+// Directions returns k weight vectors over m objectives, spread over the
+// simplex: the uniform centre first, then progressively corner-leaning
+// directions. Weights sum to 1.
+func Directions(m, k int) [][]float64 {
+	if m < 1 || k < 1 {
+		return nil
+	}
+	out := make([][]float64, 0, k)
+	// Centre.
+	c := make([]float64, m)
+	for i := range c {
+		c[i] = 1 / float64(m)
+	}
+	out = append(out, c)
+	// Corner-leaning: objective j gets weight 0.7, the rest share 0.3.
+	for j := 0; len(out) < k; j++ {
+		w := make([]float64, m)
+		lead := j % m
+		for i := range w {
+			if i == lead {
+				w[i] = 0.7
+			} else {
+				w[i] = 0.3 / float64(m-1)
+			}
+		}
+		if m == 1 {
+			w[0] = 1
+		}
+		out = append(out, w)
+	}
+	return out[:k]
+}
+
+// Segment returns which direction the i-th evaluation of a budget uses when
+// the budget is split evenly across k segments.
+func Segment(i, budget, k int) int {
+	if budget <= 0 || k <= 1 {
+		return 0
+	}
+	seg := i * k / budget
+	if seg >= k {
+		seg = k - 1
+	}
+	return seg
+}

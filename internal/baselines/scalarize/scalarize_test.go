@@ -1,0 +1,72 @@
+package scalarize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDirectionsSimplex(t *testing.T) {
+	for _, m := range []int{1, 2, 3} {
+		for _, k := range []int{1, 2, 3, 5} {
+			dirs := Directions(m, k)
+			if len(dirs) != k {
+				t.Fatalf("m=%d k=%d: %d directions", m, k, len(dirs))
+			}
+			for _, w := range dirs {
+				if len(w) != m {
+					t.Fatalf("m=%d: direction has %d weights", m, len(w))
+				}
+				var sum float64
+				for _, v := range w {
+					if v < 0 {
+						t.Errorf("negative weight %g", v)
+					}
+					sum += v
+				}
+				if math.Abs(sum-1) > 1e-12 {
+					t.Errorf("weights sum to %g", sum)
+				}
+			}
+		}
+	}
+}
+
+func TestDirectionsFirstIsCentre(t *testing.T) {
+	dirs := Directions(3, 4)
+	for _, v := range dirs[0] {
+		if math.Abs(v-1.0/3.0) > 1e-12 {
+			t.Errorf("first direction not the centre: %v", dirs[0])
+		}
+	}
+	// Later directions lean on distinct objectives.
+	if dirs[1][0] != 0.7 || dirs[2][1] != 0.7 || dirs[3][2] != 0.7 {
+		t.Errorf("corner-leaning directions wrong: %v", dirs[1:])
+	}
+}
+
+func TestDirectionsDegenerate(t *testing.T) {
+	if Directions(0, 3) != nil || Directions(3, 0) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+	d := Directions(1, 2)
+	if d[0][0] != 1 || d[1][0] != 1 {
+		t.Errorf("single-objective weights must be 1: %v", d)
+	}
+}
+
+func TestSegment(t *testing.T) {
+	// 30 evaluations, 3 segments: 0..9 -> 0, 10..19 -> 1, 20..29 -> 2.
+	for i, want := range map[int]int{0: 0, 9: 0, 10: 1, 19: 1, 20: 2, 29: 2} {
+		if got := Segment(i, 30, 3); got != want {
+			t.Errorf("Segment(%d, 30, 3) = %d, want %d", i, got, want)
+		}
+	}
+	// Beyond the budget clamps to the last segment.
+	if got := Segment(99, 30, 3); got != 2 {
+		t.Errorf("Segment(99) = %d, want 2", got)
+	}
+	// Single segment / degenerate budget.
+	if Segment(5, 30, 1) != 0 || Segment(5, 0, 3) != 0 {
+		t.Error("degenerate segment handling wrong")
+	}
+}

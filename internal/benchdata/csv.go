@@ -1,0 +1,103 @@
+package benchdata
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ppatuner/internal/param"
+	"ppatuner/internal/pdtool"
+)
+
+// WriteCSV serialises the dataset: a header row of parameter names plus the
+// QoR columns, then one row per point with decoded parameter values followed
+// by normalised coordinates and the QoR metrics.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{}
+	for _, p := range d.Space.Params {
+		header = append(header, p.Name)
+	}
+	for _, p := range d.Space.Params {
+		header = append(header, "u_"+p.Name)
+	}
+	header = append(header, "power_mw", "delay_ns", "area_um2")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, pt := range d.Points {
+		row := make([]string, 0, len(header))
+		for _, p := range d.Space.Params {
+			switch p.Kind {
+			case param.Float:
+				row = append(row, strconv.FormatFloat(pt.Config.Float(p.Name), 'g', 8, 64))
+			case param.Int:
+				row = append(row, strconv.Itoa(pt.Config.Int(p.Name)))
+			case param.Enum:
+				row = append(row, pt.Config.Enum(p.Name))
+			case param.Bool:
+				row = append(row, fmt.Sprintf("%v", pt.Config.Bool(p.Name)))
+			}
+		}
+		for _, u := range pt.Config.UnitView() {
+			// Shortest exact representation: the normalised coordinates must
+			// round-trip bit-exactly so configuration keys survive.
+			row = append(row, strconv.FormatFloat(u, 'g', -1, 64))
+		}
+		row = append(row,
+			strconv.FormatFloat(pt.QoR.PowerMW, 'g', 8, 64),
+			strconv.FormatFloat(pt.QoR.DelayNS, 'g', 8, 64),
+			strconv.FormatFloat(pt.QoR.AreaUm2, 'g', 8, 64))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV for the given
+// space (the design is not reconstructed — QoR values are already present).
+func ReadCSV(r io.Reader, name string, space *param.Space) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("benchdata: read %s: %w", name, err)
+	}
+	if len(rows) < 1 {
+		return nil, fmt.Errorf("benchdata: %s: empty CSV", name)
+	}
+	d := space.Dim()
+	wantCols := 2*d + 3
+	if len(rows[0]) != wantCols {
+		return nil, fmt.Errorf("benchdata: %s: %d columns, want %d", name, len(rows[0]), wantCols)
+	}
+	ds := &Dataset{Name: name, Space: space}
+	for ri, row := range rows[1:] {
+		u := make([]float64, d)
+		for j := 0; j < d; j++ {
+			v, err := strconv.ParseFloat(row[d+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdata: %s row %d: %w", name, ri+2, err)
+			}
+			u[j] = v
+		}
+		cfg, err := space.NewConfig(u)
+		if err != nil {
+			return nil, fmt.Errorf("benchdata: %s row %d: %w", name, ri+2, err)
+		}
+		var q pdtool.QoR
+		if q.PowerMW, err = strconv.ParseFloat(row[2*d], 64); err != nil {
+			return nil, fmt.Errorf("benchdata: %s row %d power: %w", name, ri+2, err)
+		}
+		if q.DelayNS, err = strconv.ParseFloat(row[2*d+1], 64); err != nil {
+			return nil, fmt.Errorf("benchdata: %s row %d delay: %w", name, ri+2, err)
+		}
+		if q.AreaUm2, err = strconv.ParseFloat(row[2*d+2], 64); err != nil {
+			return nil, fmt.Errorf("benchdata: %s row %d area: %w", name, ri+2, err)
+		}
+		ds.Points = append(ds.Points, Point{Config: cfg, QoR: q})
+	}
+	return ds, nil
+}

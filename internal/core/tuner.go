@@ -1,0 +1,712 @@
+// Package core implements PPATuner, the paper's contribution: a Pareto-
+// driven, pool-based active-learning tuner whose surrogates are transfer
+// Gaussian processes (one independent GP per QoR metric, Sec. 3.2.1).
+//
+// Each iteration performs the three stages of Algorithm 1:
+//
+//   - Model calibration: the transfer GPs predict mean and uncertainty for
+//     every still-undecided candidate; per-candidate hyper-rectangles R(x)
+//     (Eq. 9) are intersected into monotonically shrinking uncertainty
+//     regions U_t(x) (Eq. 10).
+//   - Decision-making: candidates δ-dominated by another candidate's
+//     pessimistic corner are dropped (Eq. 11); candidates no optimistic
+//     corner can δ-dominate are classified Pareto-optimal (Eq. 12).
+//   - Selection: the candidate with the longest uncertainty-region diameter
+//     is sent to the PD tool for golden QoR values (Eq. 13); batch variants
+//     send the top-B.
+//
+// The tuner is generic over the evaluator: the benchmark harness answers
+// evaluations from offline datasets, live users wire in a real tool run.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ppatuner/internal/gp"
+)
+
+// Evaluator returns the golden QoR objective vector of pool candidate i.
+// It is the abstraction of "send the configuration to the PD tool".
+type Evaluator func(i int) ([]float64, error)
+
+// Status classifies a pool candidate during the run.
+type Status int8
+
+const (
+	// Undecided candidates are still being narrowed down.
+	Undecided Status = iota
+	// Dropped candidates are δ-dominated and out of the race (Eq. 11).
+	Dropped
+	// Pareto candidates are classified δ-accurate Pareto-optimal (Eq. 12).
+	Pareto
+)
+
+// Options configures PPATuner.
+type Options struct {
+	// NumObjectives is the dimension of the QoR objective space (2 or 3 in
+	// the paper).
+	NumObjectives int
+	// SourceX/SourceY carry the historical (source-task) configurations and
+	// their QoR values per objective: SourceY[k][j] is objective k of source
+	// point j. Empty disables transfer (the tuner degenerates to plain PAL).
+	SourceX [][]float64
+	SourceY [][]float64
+	// InitTarget is the number of random target-task evaluations used to
+	// seed the surrogates (the paper uses ≤5% of the target dataset).
+	InitTarget int
+	// Tau scales the uncertainty hyper-rectangle: R(x) spans μ ± √Tau·σ
+	// (Eq. 9). Default 9.
+	Tau float64
+	// DeltaFrac sets the relaxation vector δ as a fraction of each
+	// objective's observed range at initialisation (Eq. 11/12). Default 0.02.
+	DeltaFrac float64
+	// MaxIter bounds tool evaluations after initialisation (T_max in
+	// Algorithm 1). Default 300.
+	MaxIter int
+	// Batch evaluates the top-B longest-diameter candidates per iteration
+	// (Sec. 3.3 licence parallelism). Default 1.
+	Batch int
+	// Kernel selects the covariance family (zero value: RBF).
+	Kernel gp.CovKind
+	// ARD enables per-dimension lengthscales.
+	ARD bool
+	// FitMaxEvals bounds each hyper-parameter fit (default 160).
+	FitMaxEvals int
+	// FitSubsample caps points per marginal-likelihood evaluation
+	// (default 140).
+	FitSubsample int
+	// FixTransfer freezes the transfer parameters (ablation hook).
+	FixTransfer bool
+	// GlobalSelection reverts Eq. (13) to the vanilla PAL rule — the longest
+	// diameter over all alive candidates — instead of restricting selection
+	// to the optimistic Pareto frontier. The TCAD'19 baseline uses this.
+	GlobalSelection bool
+	// Rng drives the initial design (required).
+	Rng *rand.Rand
+}
+
+func (o *Options) setDefaults() {
+	if o.Tau <= 0 {
+		o.Tau = 9
+	}
+	if o.DeltaFrac <= 0 {
+		o.DeltaFrac = 0.02
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 300
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1
+	}
+	if o.FitMaxEvals <= 0 {
+		o.FitMaxEvals = 160
+	}
+	if o.FitSubsample <= 0 {
+		o.FitSubsample = 140
+	}
+	if o.InitTarget <= 0 {
+		o.InitTarget = 10
+	}
+}
+
+// Result is the tuner outcome.
+type Result struct {
+	// ParetoIdx are the pool indices classified (δ-accurate) Pareto-optimal.
+	ParetoIdx []int
+	// EvaluatedIdx are the pool indices evaluated by the tool, in order.
+	EvaluatedIdx []int
+	// Runs is the number of tool evaluations, including initialisation.
+	Runs int
+	// Iters is the number of tuning iterations executed.
+	Iters int
+	// Status is the final per-candidate classification.
+	Status []Status
+	// Rho is the learned cross-task correlation per objective (transfer
+	// diagnostics; all 1 when no source data).
+	Rho []float64
+}
+
+// Tuner is the reusable PPATuner engine. Construct with New, run with Run.
+type Tuner struct {
+	opt  Options
+	pool [][]float64
+	eval Evaluator
+
+	gps    []*gp.GP
+	status []Status
+	// lo/hi are the uncertainty-region corners per candidate per objective.
+	lo, hi [][]float64
+	// known maps evaluated candidates to their golden vectors.
+	known map[int][]float64
+	// scale normalises objectives for the diameter computation.
+	scale []float64
+	delta []float64
+
+	evaluated []int
+	refitAt   []int
+}
+
+// New validates inputs and builds a tuner over the candidate pool (points in
+// the normalised parameter space of the target task).
+func New(pool [][]float64, eval Evaluator, opt Options) (*Tuner, error) {
+	if len(pool) == 0 {
+		return nil, errors.New("core: empty candidate pool")
+	}
+	if eval == nil {
+		return nil, errors.New("core: nil evaluator")
+	}
+	if opt.NumObjectives < 1 {
+		return nil, fmt.Errorf("core: NumObjectives = %d", opt.NumObjectives)
+	}
+	if opt.Rng == nil {
+		return nil, errors.New("core: Options.Rng is required for reproducibility")
+	}
+	if len(opt.SourceY) != 0 && len(opt.SourceY) != opt.NumObjectives {
+		return nil, fmt.Errorf("core: SourceY has %d objectives, want %d", len(opt.SourceY), opt.NumObjectives)
+	}
+	for k := range opt.SourceY {
+		if len(opt.SourceY[k]) != len(opt.SourceX) {
+			return nil, fmt.Errorf("core: SourceY[%d] has %d values, SourceX has %d points", k, len(opt.SourceY[k]), len(opt.SourceX))
+		}
+	}
+	dim := len(pool[0])
+	for i, p := range pool {
+		if len(p) != dim {
+			return nil, fmt.Errorf("core: pool point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	opt.setDefaults()
+	return &Tuner{opt: opt, pool: pool, eval: eval, known: map[int][]float64{}}, nil
+}
+
+// Run executes Algorithm 1 and returns the predicted Pareto-optimal set.
+func (t *Tuner) Run() (*Result, error) {
+	if err := t.initialise(); err != nil {
+		return nil, err
+	}
+	iters := 0
+	for ; iters < t.opt.MaxIter; iters++ {
+		// Model calibration: shrink uncertainty regions (Eq. 9–10).
+		t.updateRegions()
+		// Decision-making: drop and classify (Eq. 11–12).
+		t.decide()
+		if !t.anyUndecided() {
+			break
+		}
+		// Selection: evaluate the longest-diameter candidates (Eq. 13).
+		picks := t.selectBatch()
+		if len(picks) == 0 {
+			break
+		}
+		for _, i := range picks {
+			if err := t.observe(i); err != nil {
+				return nil, err
+			}
+		}
+		if err := t.maybeRefit(); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{
+		EvaluatedIdx: append([]int(nil), t.evaluated...),
+		Runs:         len(t.evaluated),
+		Iters:        iters,
+		Status:       append([]Status(nil), t.status...),
+	}
+	// The predicted Pareto set is the classified candidates plus the
+	// non-dominated evaluated points: evaluations are golden QoR the tool
+	// already produced, so discarding them would waste tool runs — the paper
+	// feeds exactly this prediction set back through the flow.
+	inSet := map[int]bool{}
+	for i, s := range t.status {
+		if s == Pareto {
+			inSet[i] = true
+		}
+	}
+	for _, i := range t.nonDominatedEvaluated() {
+		inSet[i] = true
+	}
+	for i := range t.status {
+		if inSet[i] {
+			res.ParetoIdx = append(res.ParetoIdx, i)
+		}
+	}
+	for _, g := range t.gps {
+		res.Rho = append(res.Rho, g.Rho())
+	}
+	return res, nil
+}
+
+// initialise seeds the transfer GPs with source data and a random target
+// design, fits hyper-parameters, and attaches the candidate pool.
+func (t *Tuner) initialise() error {
+	n := len(t.pool)
+	t.status = make([]Status, n)
+	t.lo = make([][]float64, n)
+	t.hi = make([][]float64, n)
+	for i := range t.lo {
+		t.lo[i] = make([]float64, t.opt.NumObjectives)
+		t.hi[i] = make([]float64, t.opt.NumObjectives)
+		for k := range t.lo[i] {
+			t.lo[i][k] = math.Inf(-1)
+			t.hi[i][k] = math.Inf(1)
+		}
+	}
+
+	// Random initial target design.
+	init := t.opt.InitTarget
+	if init > n {
+		init = n
+	}
+	perm := t.opt.Rng.Perm(n)[:init]
+	initX := make([][]float64, 0, init)
+	initY := make([][]float64, 0, init)
+	for _, i := range perm {
+		y, err := t.eval(i)
+		if err != nil {
+			return fmt.Errorf("core: initial evaluation %d: %w", i, err)
+		}
+		if len(y) != t.opt.NumObjectives {
+			return fmt.Errorf("core: evaluator returned %d objectives, want %d", len(y), t.opt.NumObjectives)
+		}
+		t.known[i] = y
+		t.evaluated = append(t.evaluated, i)
+		initX = append(initX, t.pool[i])
+		initY = append(initY, y)
+	}
+
+	// Objective scales and δ from observed values (init + source).
+	t.scale = make([]float64, t.opt.NumObjectives)
+	t.delta = make([]float64, t.opt.NumObjectives)
+	for k := 0; k < t.opt.NumObjectives; k++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, y := range initY {
+			lo = math.Min(lo, y[k])
+			hi = math.Max(hi, y[k])
+		}
+		span := hi - lo
+		if span <= 0 || math.IsInf(span, 0) {
+			span = math.Max(math.Abs(hi), 1e-9)
+		}
+		t.scale[k] = span
+		t.delta[k] = t.opt.DeltaFrac * span
+	}
+
+	// Per-objective transfer GPs.
+	dim := len(t.pool[0])
+	kernel := t.opt.Kernel
+	t.gps = make([]*gp.GP, t.opt.NumObjectives)
+	for k := range t.gps {
+		g := gp.New(kernel, dim, t.opt.ARD)
+		if len(t.opt.SourceX) > 0 {
+			if err := g.SetSource(t.opt.SourceX, t.opt.SourceY[k]); err != nil {
+				return err
+			}
+		}
+		ys := make([]float64, len(initY))
+		for j, y := range initY {
+			ys[j] = y[k]
+		}
+		if err := g.SetTarget(initX, ys); err != nil {
+			return err
+		}
+		if err := g.Fit(gp.FitOptions{MaxEvals: t.opt.FitMaxEvals, Subsample: t.opt.FitSubsample, FixTransfer: t.opt.FixTransfer}); err != nil {
+			return fmt.Errorf("core: initial fit objective %d: %w", k, err)
+		}
+		if err := g.AttachPool(t.pool); err != nil {
+			return err
+		}
+		t.gps[k] = g
+	}
+
+	// Refit schedule: geometric in target-observation count.
+	base := len(t.evaluated)
+	t.refitAt = []int{base + 20, base + 60, base + 140, base + 300}
+	return nil
+}
+
+// updateRegions intersects each alive candidate's region with the current
+// posterior hyper-rectangle.
+func (t *Tuner) updateRegions() {
+	beta := math.Sqrt(t.opt.Tau)
+	for i := range t.pool {
+		if t.status[i] == Dropped {
+			continue
+		}
+		if y, ok := t.known[i]; ok {
+			copy(t.lo[i], y)
+			copy(t.hi[i], y)
+			continue
+		}
+		for k, g := range t.gps {
+			mu, sd := g.PredictPool(i)
+			lo := mu - beta*sd
+			hi := mu + beta*sd
+			// Monotone intersection (Eq. 10); a crossed region collapses to
+			// the midpoint overlap.
+			if lo > t.lo[i][k] {
+				t.lo[i][k] = lo
+			}
+			if hi < t.hi[i][k] {
+				t.hi[i][k] = hi
+			}
+			if t.lo[i][k] > t.hi[i][k] {
+				m := (t.lo[i][k] + t.hi[i][k]) / 2
+				t.lo[i][k] = m
+				t.hi[i][k] = m
+			}
+		}
+	}
+}
+
+// decide applies the dropping rule (Eq. 11) and the Pareto classification
+// rule (Eq. 12).
+//
+// Both rules quantify over all alive candidates, but only the non-dominated
+// corners matter: if any alive x' pessimistically δ-dominates x, then some
+// member of the non-dominated set of pessimistic corners does too (weak
+// dominance is transitive), and symmetrically for the optimistic corners of
+// the classification rule. Testing against those skyline sets turns the
+// naive O(n²) pass into O(n·|front|), which is what makes 5000-candidate
+// pools tractable.
+func (t *Tuner) decide() {
+	alive := t.aliveIndices()
+	// Dropping: x is dropped when some alive x' pessimistically δ-dominates
+	// x's optimistic corner.
+	ndHi := t.skyline(alive, t.hi)
+	for _, i := range alive {
+		if t.status[i] != Undecided {
+			continue
+		}
+		for _, j := range ndHi {
+			if i == j {
+				continue
+			}
+			if t.pessDominatesOpt(j, i) {
+				t.status[i] = Dropped
+				break
+			}
+		}
+	}
+	// Classification: x becomes Pareto when no alive x' could still
+	// δ-dominate x's pessimistic corner with its optimistic corner.
+	alive = t.aliveIndices()
+	ndLo := t.skyline(alive, t.lo)
+	inNdLo := make(map[int]bool, len(ndLo))
+	for _, j := range ndLo {
+		inNdLo[j] = true
+	}
+	for _, i := range alive {
+		if t.status[i] != Undecided {
+			continue
+		}
+		safe := true
+		for _, j := range ndLo {
+			if i == j {
+				continue
+			}
+			if t.optCouldDominatePess(j, i) {
+				safe = false
+				break
+			}
+		}
+		// A skyline member may shadow its own blockers: when i itself is in
+		// the skyline and no other skyline member blocks it, fall back to a
+		// full scan (rare — at most |front| candidates per pass).
+		if safe && inNdLo[i] {
+			for _, j := range alive {
+				if i == j {
+					continue
+				}
+				if t.optCouldDominatePess(j, i) {
+					safe = false
+					break
+				}
+			}
+		}
+		if safe {
+			t.status[i] = Pareto
+		}
+	}
+}
+
+// skyline returns the indices (subset of idx) whose corner vectors are
+// non-dominated (minimal). It sorts by coordinate sum so each point only
+// needs testing against the skyline found so far.
+func (t *Tuner) skyline(idx []int, corner [][]float64) []int {
+	order := append([]int(nil), idx...)
+	sums := make(map[int]float64, len(order))
+	for _, i := range order {
+		var s float64
+		for _, v := range corner[i] {
+			s += v
+		}
+		sums[i] = s
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sums[order[a]] != sums[order[b]] {
+			return sums[order[a]] < sums[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	var nd []int
+	for _, i := range order {
+		dominated := false
+		for _, j := range nd {
+			if weaklyDominates(corner[j], corner[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			nd = append(nd, i)
+		}
+	}
+	return nd
+}
+
+func weaklyDominates(a, b []float64) bool {
+	for k := range a {
+		if a[k] > b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// pessDominatesOpt reports whether candidate j's pessimistic corner
+// δ-dominates candidate i's optimistic corner: max(U(x')) ≤ min(U(x)) + δ.
+func (t *Tuner) pessDominatesOpt(j, i int) bool {
+	strict := false
+	for k := range t.delta {
+		if t.hi[j][k] > t.lo[i][k]+t.delta[k] {
+			return false
+		}
+		if t.hi[j][k] < t.lo[i][k] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// optCouldDominatePess reports whether candidate j's optimistic corner could
+// dominate candidate i's pessimistic corner by more than δ in every
+// objective — the event that blocks Pareto classification of i.
+func (t *Tuner) optCouldDominatePess(j, i int) bool {
+	for k := range t.delta {
+		if t.lo[j][k] > t.hi[i][k]-t.delta[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tuner) aliveIndices() []int {
+	out := make([]int, 0, len(t.pool))
+	for i, s := range t.status {
+		if s != Dropped {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (t *Tuner) anyUndecided() bool {
+	for _, s := range t.status {
+		if s == Undecided {
+			return true
+		}
+	}
+	return false
+}
+
+// diameter is the scaled L2 length of the region's diagonal (Eq. 13).
+func (t *Tuner) diameter(i int) float64 {
+	var s float64
+	for k := range t.scale {
+		d := (t.hi[i][k] - t.lo[i][k]) / t.scale[k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// selectBatch returns the top-B longest-diameter unevaluated candidates
+// among the undecided and predicted-Pareto points (the paper's selection
+// scope explicitly includes both). Candidates are restricted to the
+// *optimistic Pareto front* — points whose optimistic corner is not
+// dominated by another alive candidate's optimistic corner: only those can
+// still "benefit searching the Pareto set" (Sec. 3.2.4); resolving the
+// uncertainty of a point that is optimistically dominated cannot change the
+// front.
+func (t *Tuner) selectBatch() []int {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	alive := t.aliveIndices()
+	inFrontier := map[int]bool{}
+	if !t.opt.GlobalSelection {
+		for _, i := range t.skyline(alive, t.lo) {
+			inFrontier[i] = true
+		}
+	}
+	var cands []cand
+	for i, s := range t.status {
+		if s == Dropped || (!t.opt.GlobalSelection && !inFrontier[i]) {
+			continue
+		}
+		if _, done := t.known[i]; done {
+			continue
+		}
+		cands = append(cands, cand{i, t.diameter(i)})
+	}
+	if len(cands) == 0 {
+		// Every frontier point is already evaluated: fall back to the widest
+		// alive region anywhere, so undecided points still get resolved.
+		for i, s := range t.status {
+			if s == Dropped {
+				continue
+			}
+			if _, done := t.known[i]; done {
+				continue
+			}
+			cands = append(cands, cand{i, t.diameter(i)})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	// Partial selection of the top Batch by diameter.
+	b := t.opt.Batch
+	if b > len(cands) {
+		b = len(cands)
+	}
+	for x := 0; x < b; x++ {
+		best := x
+		for y := x + 1; y < len(cands); y++ {
+			if cands[y].d > cands[best].d {
+				best = y
+			}
+		}
+		cands[x], cands[best] = cands[best], cands[x]
+	}
+	out := make([]int, b)
+	for x := 0; x < b; x++ {
+		out[x] = cands[x].idx
+	}
+	return out
+}
+
+// observe evaluates candidate i with the tool and updates the surrogates.
+func (t *Tuner) observe(i int) error {
+	y, err := t.eval(i)
+	if err != nil {
+		return fmt.Errorf("core: evaluation %d: %w", i, err)
+	}
+	if len(y) != t.opt.NumObjectives {
+		return fmt.Errorf("core: evaluator returned %d objectives, want %d", len(y), t.opt.NumObjectives)
+	}
+	t.known[i] = y
+	t.evaluated = append(t.evaluated, i)
+	for k, g := range t.gps {
+		if err := g.AddTarget(t.pool[i], y[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeRefit re-optimises the GP hyper-parameters at scheduled points.
+func (t *Tuner) maybeRefit() error {
+	n := len(t.evaluated)
+	due := false
+	for _, at := range t.refitAt {
+		if n == at {
+			due = true
+			break
+		}
+	}
+	if !due {
+		return nil
+	}
+	for k, g := range t.gps {
+		if err := g.Fit(gp.FitOptions{MaxEvals: t.opt.FitMaxEvals, Subsample: t.opt.FitSubsample, FixTransfer: t.opt.FixTransfer}); err != nil {
+			return fmt.Errorf("core: refit objective %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// nonDominatedEvaluated returns the evaluated points whose golden vectors
+// are mutually non-dominated.
+func (t *Tuner) nonDominatedEvaluated() []int {
+	var out []int
+	for i, yi := range t.known {
+		dominated := false
+		for j, yj := range t.known {
+			if i == j {
+				continue
+			}
+			if dominatesVec(yj, yi) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func dominatesVec(a, b []float64) bool {
+	strict := false
+	for k := range a {
+		if a[k] > b[k] {
+			return false
+		}
+		if a[k] < b[k] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// DebugState summarises surrogate and region diagnostics (used by probes and
+// examples; cheap, human-readable).
+func (t *Tuner) DebugState() string {
+	if t.gps == nil {
+		return "core: not initialised"
+	}
+	s := ""
+	for k, g := range t.gps {
+		nt, _ := g.Noise()
+		s += fmt.Sprintf("obj %d: rho=%.3f var=%.3f len=%v noiseT=%.2e scale=%.4g delta=%.4g\n",
+			k, g.Rho(), g.Cov().Var, g.Cov().Len, nt, t.scale[k], t.delta[k])
+	}
+	// Region width stats over alive unevaluated points.
+	var wsum [8]float64
+	cnt := 0
+	for i := range t.pool {
+		if t.status[i] == Dropped {
+			continue
+		}
+		if _, done := t.known[i]; done {
+			continue
+		}
+		for k := range t.delta {
+			wsum[k] += t.hi[i][k] - t.lo[i][k]
+		}
+		cnt++
+	}
+	if cnt > 0 {
+		for k := range t.delta {
+			s += fmt.Sprintf("obj %d: avg region width %.4g (delta %.4g)\n", k, wsum[k]/float64(cnt), t.delta[k])
+		}
+	}
+	return s
+}

@@ -1,0 +1,527 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ppatuner/internal/mat"
+)
+
+// GP is an exact Gaussian-process regressor over one QoR metric, optionally
+// coupling a fixed source-task dataset with a growing target-task dataset
+// through the transfer kernel of Eq. (5)–(7):
+//
+//	K̃(x_n, x_m) = k(x_n, x_m) · (2(1/(1+a))^b − 1)   across tasks,
+//	K̃(x_n, x_m) = k(x_n, x_m)                         within a task,
+//
+// with heteroscedastic task noise Λ = diag(βs⁻¹ I_N, βt⁻¹ I_M) as in
+// Eq. (8). A GP without source data degenerates to a standard GP — that is
+// exactly the surrogate of the TCAD'19 baseline.
+type GP struct {
+	cov            *Cov
+	noiseT, noiseS float64 // βt⁻¹ and βs⁻¹ (variances)
+	a, b           float64 // Gamma dissimilarity parameters of Eq. (6)
+
+	dim       int
+	hasSource bool
+
+	xs [][]float64 // source inputs (fixed after SetSource)
+	ys []float64   // raw source outputs
+	xt [][]float64 // target inputs (grow during tuning)
+	yt []float64   // raw target outputs
+
+	// Per-task output standardisation: a systematic offset or scale gap
+	// between the tasks (a larger design burns more power everywhere) would
+	// otherwise masquerade as task dissimilarity and destroy the cross-task
+	// correlation the transfer kernel needs. Each task is z-scored with its
+	// own constants; the kernel then correlates response *shapes*.
+	yMeanS, yStdS float64
+	yMeanT, yStdT float64
+
+	chol  *mat.Cholesky
+	alpha []float64
+
+	pool    [][]float64
+	poolK   [][]float64 // poolK[p][i] = k̃(x_i, pool_p)
+	poolV   [][]float64 // poolV[p]    = L⁻¹ poolK[p]
+	poolKpp []float64   // prior variance k(p,p) + βt⁻¹
+}
+
+// New returns a GP over dim-dimensional inputs with the given covariance
+// family. ard selects per-dimension lengthscales.
+func New(kind CovKind, dim int, ard bool) *GP {
+	return &GP{
+		cov:    NewCov(kind, dim, ard),
+		noiseT: 1e-4,
+		noiseS: 1e-4,
+		a:      0.1,
+		b:      1.0,
+		dim:    dim,
+		yStdS:  1,
+		yStdT:  1,
+	}
+}
+
+// SetSource installs the source-task dataset (historical configurations and
+// their QoR values). Must be called before Fit; enables the transfer kernel.
+func (g *GP) SetSource(x [][]float64, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("gp: source has %d inputs, %d outputs", len(x), len(y))
+	}
+	for _, xi := range x {
+		if len(xi) != g.dim {
+			return fmt.Errorf("gp: source input dim %d, want %d", len(xi), g.dim)
+		}
+	}
+	g.xs = x
+	g.ys = y
+	g.hasSource = len(x) > 0
+	return nil
+}
+
+// SetTarget installs the initial target-task observations.
+func (g *GP) SetTarget(x [][]float64, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("gp: target has %d inputs, %d outputs", len(x), len(y))
+	}
+	for _, xi := range x {
+		if len(xi) != g.dim {
+			return fmt.Errorf("gp: target input dim %d, want %d", len(xi), g.dim)
+		}
+	}
+	g.xt = append([][]float64(nil), x...)
+	g.yt = append([]float64(nil), y...)
+	return nil
+}
+
+// Rho returns the current cross-task correlation factor of Eq. (7).
+func (g *GP) Rho() float64 {
+	if !g.hasSource {
+		return 1
+	}
+	return TransferFactor(g.a, g.b)
+}
+
+// Cov returns the covariance function (for inspection in tests/ablations).
+func (g *GP) Cov() *Cov { return g.cov }
+
+// Noise returns the target and source noise variances (βt⁻¹, βs⁻¹).
+func (g *GP) Noise() (noiseT, noiseS float64) { return g.noiseT, g.noiseS }
+
+// N returns the current number of training points (source + target).
+func (g *GP) N() int { return len(g.xs) + len(g.xt) }
+
+// NTarget returns the number of target-task training points.
+func (g *GP) NTarget() int { return len(g.xt) }
+
+// trainX returns training input i in source-then-target order, plus whether
+// it belongs to the source task.
+func (g *GP) trainX(i int) ([]float64, bool) {
+	if i < len(g.xs) {
+		return g.xs[i], true
+	}
+	return g.xt[i-len(g.xs)], false
+}
+
+// ktrain evaluates the transfer kernel between training points i and j.
+func (g *GP) ktrain(i, j int) float64 {
+	xi, si := g.trainX(i)
+	xj, sj := g.trainX(j)
+	v := g.cov.Eval(xi, xj)
+	if si != sj {
+		v *= g.Rho()
+	}
+	return v
+}
+
+// kvecTarget evaluates k̃(x, x_i) for a *target-task* test point against all
+// training points, writing into dst (len N).
+func (g *GP) kvecTarget(x []float64, dst []float64) {
+	rho := g.Rho()
+	for i, xi := range g.xs {
+		dst[i] = rho * g.cov.Eval(x, xi)
+	}
+	off := len(g.xs)
+	for i, xi := range g.xt {
+		dst[off+i] = g.cov.Eval(x, xi)
+	}
+}
+
+// standardise recomputes the per-task output normalisation constants.
+func (g *GP) standardise() {
+	g.yMeanS, g.yStdS = meanStd(g.ys)
+	g.yMeanT, g.yStdT = meanStd(g.yt)
+	// With very few target observations the target scale estimate is
+	// unreliable; borrow the source scale, which describes the same kind of
+	// quantity.
+	if len(g.yt) < 4 && len(g.ys) >= 4 {
+		g.yStdT = g.yStdS
+	}
+}
+
+func meanStd(y []float64) (mean, std float64) {
+	if len(y) == 0 {
+		return 0, 1
+	}
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for _, v := range y {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(y)))
+	if std < 1e-12 {
+		std = 1
+	}
+	return mean, std
+}
+
+// yStdAll returns all outputs in training order, standardised per task.
+func (g *GP) yStdAll() []float64 {
+	out := make([]float64, 0, g.N())
+	for _, y := range g.ys {
+		out = append(out, (y-g.yMeanS)/g.yStdS)
+	}
+	for _, y := range g.yt {
+		out = append(out, (y-g.yMeanT)/g.yStdT)
+	}
+	return out
+}
+
+// gram builds the full noisy Gram matrix K̃ + Λ for the current data and
+// hyper-parameters.
+func (g *GP) gram() *mat.Matrix {
+	n := g.N()
+	k := mat.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.ktrain(i, j)
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		if i < len(g.xs) {
+			k.Data[i*n+i] += g.noiseS
+		} else {
+			k.Data[i*n+i] += g.noiseT
+		}
+		k.Data[i*n+i] += 1e-8 // numerical jitter
+	}
+	return k
+}
+
+// Rebuild refactorises the posterior from scratch for the current data and
+// hyper-parameters, and recomputes the pool cache if a pool is attached.
+func (g *GP) Rebuild() error {
+	if g.N() == 0 {
+		return errors.New("gp: no training data")
+	}
+	g.standardise()
+	ch, err := mat.CholeskyWithJitter(g.gram(), 1e-8, 8)
+	if err != nil {
+		return fmt.Errorf("gp: posterior factorisation: %w", err)
+	}
+	g.chol = ch
+	g.alpha = ch.Solve(g.yStdAll())
+	if g.pool != nil {
+		g.rebuildPool()
+	}
+	return nil
+}
+
+// AddTarget appends one target-task observation and updates the posterior
+// and pool cache incrementally.
+func (g *GP) AddTarget(x []float64, y float64) error {
+	if len(x) != g.dim {
+		return fmt.Errorf("gp: AddTarget input dim %d, want %d", len(x), g.dim)
+	}
+	if g.chol == nil {
+		g.xt = append(g.xt, x)
+		g.yt = append(g.yt, y)
+		return g.Rebuild()
+	}
+	n := g.N()
+	row := make([]float64, n+1)
+	rho := g.Rho()
+	for i, xi := range g.xs {
+		row[i] = rho * g.cov.Eval(x, xi)
+	}
+	off := len(g.xs)
+	for i, xi := range g.xt {
+		row[off+i] = g.cov.Eval(x, xi)
+	}
+	row[n] = g.cov.Eval(x, x) + g.noiseT + 1e-8
+	if err := g.chol.Extend([][]float64{row}); err != nil {
+		// Degenerate extension (e.g. duplicate point): fall back to a full
+		// rebuild with stronger jitter.
+		g.xt = append(g.xt, x)
+		g.yt = append(g.yt, y)
+		g.chol = nil
+		return g.Rebuild()
+	}
+	g.xt = append(g.xt, x)
+	g.yt = append(g.yt, y)
+	g.alpha = g.chol.Solve(g.yStdAll())
+
+	// Extend the pool cache with one entry per candidate.
+	if g.pool != nil {
+		ln := g.chol.LRow(n)
+		for p, xp := range g.pool {
+			kp := g.cov.Eval(x, xp)
+			col := append(g.poolK[p], kp)
+			g.poolK[p] = col
+			v := kp
+			vp := g.poolV[p]
+			for k := 0; k < n; k++ {
+				v -= ln[k] * vp[k]
+			}
+			g.poolV[p] = append(vp, v/ln[n])
+		}
+	}
+	return nil
+}
+
+// AttachPool installs the candidate pool (target-task points, normalised
+// coordinates) whose posterior will be queried repeatedly. Must be called
+// after the posterior exists (Fit or Rebuild).
+func (g *GP) AttachPool(pool [][]float64) error {
+	if g.chol == nil {
+		return errors.New("gp: AttachPool before Rebuild/Fit")
+	}
+	for _, p := range pool {
+		if len(p) != g.dim {
+			return fmt.Errorf("gp: pool point dim %d, want %d", len(p), g.dim)
+		}
+	}
+	g.pool = pool
+	g.rebuildPool()
+	return nil
+}
+
+func (g *GP) rebuildPool() {
+	n := g.N()
+	g.poolK = make([][]float64, len(g.pool))
+	g.poolV = make([][]float64, len(g.pool))
+	g.poolKpp = make([]float64, len(g.pool))
+	buf := make([]float64, n)
+	for p, xp := range g.pool {
+		g.kvecTarget(xp, buf)
+		col := make([]float64, n, n+64)
+		copy(col, buf)
+		g.poolK[p] = col
+		g.poolV[p] = g.chol.SolveL(col)
+		g.poolKpp[p] = g.cov.Eval(xp, xp) + g.noiseT
+	}
+}
+
+// PredictPool returns the posterior mean and standard deviation (in raw
+// output units) for pool candidate p, per Eq. (8).
+func (g *GP) PredictPool(p int) (mu, sd float64) {
+	kp := g.poolK[p]
+	vp := g.poolV[p]
+	muStd := mat.Dot(g.alpha, kp)
+	varStd := g.poolKpp[p] - mat.Dot(vp, vp)
+	if varStd < 1e-12 {
+		varStd = 1e-12
+	}
+	return g.yMeanT + g.yStdT*muStd, g.yStdT * math.Sqrt(varStd)
+}
+
+// Predict returns the posterior mean and standard deviation for an arbitrary
+// target-task point (raw units).
+func (g *GP) Predict(x []float64) (mu, sd float64) {
+	if g.chol == nil {
+		panic("gp: Predict before Rebuild/Fit")
+	}
+	n := g.N()
+	kv := make([]float64, n)
+	g.kvecTarget(x, kv)
+	muStd := mat.Dot(g.alpha, kv)
+	v := g.chol.SolveL(kv)
+	varStd := g.cov.Eval(x, x) + g.noiseT - mat.Dot(v, v)
+	if varStd < 1e-12 {
+		varStd = 1e-12
+	}
+	return g.yMeanT + g.yStdT*muStd, g.yStdT * math.Sqrt(varStd)
+}
+
+// NLML returns the negative log marginal likelihood of the standardised data
+// under the current hyper-parameters (lower is better). Used by Fit and
+// exposed for tests and diagnostics.
+func (g *GP) NLML() float64 {
+	n := g.N()
+	if n == 0 {
+		return math.Inf(1)
+	}
+	ch, err := mat.CholeskyWithJitter(g.gram(), 1e-8, 6)
+	if err != nil {
+		return math.Inf(1)
+	}
+	y := g.yStdAll()
+	alpha := ch.Solve(y)
+	return 0.5*mat.Dot(y, alpha) + 0.5*ch.LogDet() + 0.5*float64(n)*math.Log(2*math.Pi)
+}
+
+// FitOptions bounds the hyper-parameter search.
+type FitOptions struct {
+	// MaxEvals caps Nelder–Mead objective evaluations (default 240).
+	MaxEvals int
+	// FixTransfer keeps (a, b) at their current values instead of fitting
+	// them (ablation hook).
+	FixTransfer bool
+	// Subsample caps the number of training points entering each marginal-
+	// likelihood evaluation (0 = use all). Large active-learning loops use
+	// this: each NLML evaluation is O(n³), so fitting on a deterministic
+	// stride subsample keeps refits cheap while the full posterior still
+	// uses every point.
+	Subsample int
+}
+
+// subsampled returns a copy of g whose data is a deterministic stride
+// subsample of at most n points, split proportionally between tasks.
+func (g *GP) subsampled(n int) *GP {
+	total := g.N()
+	if n <= 0 || total <= n {
+		return g
+	}
+	sub := New(g.cov.Kind, g.dim, len(g.cov.Len) > 1)
+	sub.cov = g.cov // share: Fit mutates these in place
+	sub.noiseT, sub.noiseS = g.noiseT, g.noiseS
+	sub.a, sub.b = g.a, g.b
+	take := func(x [][]float64, y []float64, k int) ([][]float64, []float64) {
+		if k >= len(x) {
+			return x, y
+		}
+		xs := make([][]float64, 0, k)
+		ys := make([]float64, 0, k)
+		stride := float64(len(x)) / float64(k)
+		for i := 0; i < k; i++ {
+			j := int(float64(i) * stride)
+			xs = append(xs, x[j])
+			ys = append(ys, y[j])
+		}
+		return xs, ys
+	}
+	ns := n * len(g.xs) / total
+	if g.hasSource && ns < 1 {
+		ns = 1 // keep the task structure so the packed hyper layout matches
+	}
+	nt := n - ns
+	sub.xs, sub.ys = take(g.xs, g.ys, ns)
+	sub.xt, sub.yt = take(g.xt, g.yt, nt)
+	sub.hasSource = len(sub.xs) > 0
+	return sub
+}
+
+// Fit maximises the marginal likelihood over the covariance hyper-parameters,
+// the task noises and (when source data is present) the transfer Gamma
+// parameters, then rebuilds the posterior.
+func (g *GP) Fit(opts FitOptions) error {
+	if g.N() == 0 {
+		return errors.New("gp: no training data")
+	}
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 240
+	}
+	g.standardise()
+
+	fitTransfer := g.hasSource && !opts.FixTransfer
+	// NLML is evaluated on a subsample when the training set is large; the
+	// winning hyper-parameters are copied back to g before the full rebuild.
+	work := g.subsampled(opts.Subsample)
+	work.standardise()
+	pack := func() []float64 {
+		h := g.cov.hyper()
+		h = append(h, math.Log(g.noiseT))
+		if g.hasSource {
+			h = append(h, math.Log(g.noiseS))
+		}
+		if fitTransfer {
+			h = append(h, math.Log(g.a), math.Log(g.b))
+		}
+		return h
+	}
+	unpackInto := func(t *GP, h []float64) {
+		nc := 1 + len(t.cov.Len)
+		t.cov.setHyper(h[:nc])
+		i := nc
+		// The outputs are standardised, so 1e-4 is a 1%-of-σ noise floor: it
+		// keeps the posterior honest when few points make "noise-free" fits
+		// look attractive.
+		t.noiseT = clampExp(h[i], 1e-4, 1e2)
+		i++
+		if t.hasSource {
+			t.noiseS = clampExp(h[i], 1e-4, 1e2)
+			i++
+		}
+		if fitTransfer {
+			t.a = clampExp(h[i], 1e-4, 1e3)
+			t.b = clampExp(h[i+1], 1e-4, 1e3)
+		}
+	}
+	obj := func(h []float64) float64 {
+		unpackInto(work, h)
+		if work.cov.Var > 1e4 || work.cov.Var < 1e-6 {
+			return math.Inf(1)
+		}
+		// Inputs live in the normalised [0,1]^d parameter space, so
+		// lengthscales far outside it are degenerate extrapolators.
+		for _, l := range work.cov.Len {
+			if l > 8 || l < 0.02 {
+				return math.Inf(1)
+			}
+		}
+		// Weak log-normal priors guard against the overconfident optima
+		// (huge variance, tiny noise) that small active-learning training
+		// sets invite; they barely move well-identified fits.
+		penalty := 0.0
+		for _, l := range work.cov.Len {
+			d := (math.Log(l) - math.Log(0.7)) / 1.2
+			penalty += 0.5 * d * d
+		}
+		dv := math.Log(work.cov.Var) / 2.0
+		penalty += 0.5 * dv * dv
+		return work.NLML() + penalty
+	}
+	// Multi-start: the marginal-likelihood surface is shallow along the
+	// transfer-dissimilarity direction, so a single simplex run can stall
+	// with a mediocre rho. Restart from the current parameters and from a
+	// "tasks are similar" initialisation, keep the best.
+	starts := [][]float64{pack()}
+	if fitTransfer {
+		saveA, saveB := g.a, g.b
+		g.a, g.b = 0.01, 1
+		starts = append(starts, pack())
+		g.a, g.b = saveA, saveB
+	}
+	// Reserve part of the budget to re-run the simplex from the best point
+	// found: a restart re-inflates the collapsed simplex and reliably walks
+	// the remaining shallow directions (noise, dissimilarity).
+	per := opts.MaxEvals / (len(starts) + 1)
+	bestV := math.Inf(1)
+	var best []float64
+	for _, s := range starts {
+		x, v := NelderMead(obj, s, 0.5, per)
+		if v < bestV {
+			bestV = v
+			best = x
+		}
+	}
+	if x, v := NelderMead(obj, best, 0.25, opts.MaxEvals-per*len(starts)); v < bestV {
+		best = x
+	}
+	unpackInto(g, best)
+	return g.Rebuild()
+}
+
+func clampExp(logv, lo, hi float64) float64 {
+	v := math.Exp(logv)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

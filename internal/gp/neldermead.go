@@ -1,0 +1,109 @@
+package gp
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMead minimises f over R^n starting from x0, using the standard
+// downhill-simplex method with adaptive coefficients. maxEvals bounds the
+// number of objective evaluations. It returns the best point and value
+// found. Objective values of NaN are treated as +Inf (e.g. a failed Cholesky
+// inside a marginal-likelihood evaluation).
+func NelderMead(f func([]float64) float64, x0 []float64, step float64, maxEvals int) ([]float64, float64) {
+	n := len(x0)
+	if n == 0 {
+		return nil, f(nil)
+	}
+	eval := func(x []float64) float64 {
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	simplex := make([]vertex, n+1)
+	evals := 0
+	mk := func(x []float64) vertex {
+		evals++
+		return vertex{x: x, v: eval(x)}
+	}
+	simplex[0] = mk(append([]float64(nil), x0...))
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		x[i] += step
+		simplex[i+1] = mk(x)
+	}
+
+	// Adaptive coefficients (Gao & Han) behave better in higher dimensions.
+	nf := float64(n)
+	alpha := 1.0
+	beta := 1.0 + 2.0/nf
+	gamma := 0.75 - 1.0/(2.0*nf)
+	delta := 1.0 - 1.0/nf
+
+	for evals < maxEvals {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+		best, worst := simplex[0], simplex[n]
+		if worst.v-best.v < 1e-10*(1+math.Abs(best.v)) {
+			break
+		}
+		// Centroid of all but the worst vertex.
+		cen := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				cen[j] += simplex[i].x[j]
+			}
+		}
+		for j := range cen {
+			cen[j] /= nf
+		}
+		lerp := func(t float64) []float64 {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = cen[j] + t*(cen[j]-worst.x[j])
+			}
+			return x
+		}
+		refl := mk(lerp(alpha))
+		switch {
+		case refl.v < best.v:
+			if exp := mk(lerp(alpha * beta)); exp.v < refl.v {
+				simplex[n] = exp
+			} else {
+				simplex[n] = refl
+			}
+		case refl.v < simplex[n-1].v:
+			simplex[n] = refl
+		default:
+			var con vertex
+			if refl.v < worst.v {
+				con = mk(lerp(alpha * gamma)) // outside contraction
+			} else {
+				con = mk(lerp(-gamma)) // inside contraction
+			}
+			if con.v < math.Min(refl.v, worst.v) {
+				simplex[n] = con
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					x := make([]float64, n)
+					for j := range x {
+						x[j] = best.x[j] + delta*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i] = mk(x)
+					if evals >= maxEvals {
+						break
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+	return simplex[0].x, simplex[0].v
+}

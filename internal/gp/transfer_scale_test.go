@@ -1,0 +1,95 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestTransferSurvivesTaskScaleGap: per-task standardisation must keep the
+// learned correlation high even when the source task's outputs live on a
+// completely different scale (a 3× larger design burning 3× the power), as
+// long as the response *shape* matches.
+func TestTransferSurvivesTaskScaleGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	shape := func(x []float64) float64 { return math.Sin(4*x[0]) + x[1]*x[1] }
+	fSrc := func(x []float64) float64 { return 0.4*shape(x) + 0.5 } // small design
+	fTgt := func(x []float64) float64 { return 1.3*shape(x) + 2.0 } // large design
+
+	xs, ys := trainSet(rng, 90, fSrc)
+	xt, yt := trainSet(rng, 6, fTgt)
+
+	g := New(RBF, 2, false)
+	if err := g.SetSource(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetTarget(xt, yt); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Fit(FitOptions{MaxEvals: 240}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Rho() < 0.5 {
+		t.Errorf("scale gap destroyed transfer: rho = %g, want > 0.5", g.Rho())
+	}
+
+	// Predictions must come back in *target* units.
+	plain := New(RBF, 2, false)
+	if err := plain.SetTarget(xt, yt); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Fit(FitOptions{MaxEvals: 240}); err != nil {
+		t.Fatal(err)
+	}
+	var mseT, mseP float64
+	const m = 60
+	for i := 0; i < m; i++ {
+		xq := []float64{rng.Float64(), rng.Float64()}
+		want := fTgt(xq)
+		mt, _ := g.Predict(xq)
+		mp, _ := plain.Predict(xq)
+		mseT += (mt - want) * (mt - want)
+		mseP += (mp - want) * (mp - want)
+	}
+	if !(mseT < mseP) {
+		t.Errorf("transfer MSE %g !< plain MSE %g despite matching shapes", mseT/m, mseP/m)
+	}
+}
+
+// TestPerTaskStandardisationConstants: the source and target constants are
+// computed from their own task's data.
+func TestPerTaskStandardisationConstants(t *testing.T) {
+	g := New(RBF, 1, false)
+	if err := g.SetSource([][]float64{{0.1}, {0.2}, {0.3}, {0.4}, {0.5}}, []float64{10, 12, 14, 16, 18}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetTarget([][]float64{{0.1}, {0.2}, {0.3}, {0.4}, {0.5}}, []float64{100, 102, 104, 106, 108}); err != nil {
+		t.Fatal(err)
+	}
+	g.standardise()
+	if math.Abs(g.yMeanS-14) > 1e-12 {
+		t.Errorf("source mean = %g, want 14", g.yMeanS)
+	}
+	if math.Abs(g.yMeanT-104) > 1e-12 {
+		t.Errorf("target mean = %g, want 104", g.yMeanT)
+	}
+	if g.yStdS <= 0 || g.yStdT <= 0 {
+		t.Error("non-positive std")
+	}
+}
+
+// TestTargetScaleBorrowedWhenScarce: with fewer than 4 target points the
+// target std falls back to the source's.
+func TestTargetScaleBorrowedWhenScarce(t *testing.T) {
+	g := New(RBF, 1, false)
+	if err := g.SetSource([][]float64{{0.1}, {0.2}, {0.3}, {0.4}}, []float64{1, 3, 5, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetTarget([][]float64{{0.5}, {0.6}}, []float64{2, 2.1}); err != nil {
+		t.Fatal(err)
+	}
+	g.standardise()
+	if g.yStdT != g.yStdS {
+		t.Errorf("target std = %g, want borrowed source std %g", g.yStdT, g.yStdS)
+	}
+}

@@ -1,0 +1,215 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorisation encounters
+// a non-positive pivot even after jitter has been applied.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds a lower-triangular factor L with A = L Lᵀ.
+//
+// The factor supports incremental extension (Extend): appending k rows and
+// columns to A updates L in O(n²k) instead of refactorising in O((n+k)³).
+// This is the operation that makes PAL-style active-learning loops cheap —
+// each tool evaluation appends one row to the Gram matrix.
+type Cholesky struct {
+	n int
+	// l stores the lower triangle row-by-row: row i has i+1 entries.
+	// Packed storage keeps Extend cheap (no reallocation of a square matrix).
+	l [][]float64
+}
+
+// NewCholesky factorises the symmetric positive-definite matrix a.
+// Only the lower triangle of a is read.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	c := &Cholesky{}
+	rows := make([][]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		rows[i] = a.Data[i*a.Cols : i*a.Cols+i+1]
+	}
+	if err := c.extendPacked(rows); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Size returns the current dimension of the factorised matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// LRow returns row i of the factor L (length i+1). The slice is a view; do
+// not modify it.
+func (c *Cholesky) LRow(i int) []float64 { return c.l[i] }
+
+// Extend appends the rows newRows to the factor. newRows[i] must contain the
+// lower-triangular part of the appended rows of A: its length must be
+// c.Size()+i+1 (covariances against all previous points, then against the
+// previously appended new points, then the diagonal).
+func (c *Cholesky) Extend(newRows [][]float64) error {
+	for i, row := range newRows {
+		if len(row) != c.n+i+1 {
+			return fmt.Errorf("mat: Extend row %d has length %d, want %d", i, len(row), c.n+i+1)
+		}
+	}
+	return c.extendPacked(newRows)
+}
+
+func (c *Cholesky) extendPacked(newRows [][]float64) error {
+	start := c.n
+	for _, src := range newRows {
+		i := c.n
+		row := make([]float64, i+1)
+		copy(row, src)
+		// Standard Cholesky row computation against all existing rows.
+		for j := 0; j <= i; j++ {
+			lj := row
+			if j < i {
+				lj = c.l[j]
+			}
+			sum := row[j]
+			for k := 0; k < j; k++ {
+				sum -= row[k] * lj[k]
+			}
+			if j == i {
+				if sum <= 0 {
+					// Roll back any rows appended in this call so the factor
+					// stays consistent.
+					c.l = c.l[:start]
+					c.n = start
+					return fmt.Errorf("%w (pivot %d: %g)", ErrNotPositiveDefinite, i, sum)
+				}
+				row[i] = math.Sqrt(sum)
+			} else {
+				row[j] = sum / lj[j]
+			}
+		}
+		c.l = append(c.l, row)
+		c.n++
+	}
+	return nil
+}
+
+// SolveL solves L x = b in place of a copy and returns x.
+func (c *Cholesky) SolveL(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: SolveL length %d, want %d", len(b), c.n))
+	}
+	x := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		li := c.l[i]
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= li[k] * x[k]
+		}
+		x[i] = sum / li[i]
+	}
+	return x
+}
+
+// SolveLT solves Lᵀ x = b and returns x.
+func (c *Cholesky) SolveLT(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: SolveLT length %d, want %d", len(b), c.n))
+	}
+	x := make([]float64, c.n)
+	copy(x, b)
+	for i := c.n - 1; i >= 0; i-- {
+		x[i] /= c.l[i][i]
+		xi := x[i]
+		// Subtract column i of L from the remaining rhs entries.
+		for k := 0; k < i; k++ {
+			x[k] -= c.l[i][k] * xi
+		}
+	}
+	return x
+}
+
+// Solve solves A x = b via the factor (two triangular solves).
+func (c *Cholesky) Solve(b []float64) []float64 {
+	return c.SolveLT(c.SolveL(b))
+}
+
+// LogDet returns log|A| = 2 Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l[i][i])
+	}
+	return 2 * s
+}
+
+// ExtendSolveL extends an existing partial solution of L x = b with the
+// solution entries for newly appended rows. x must be the solution for the
+// first len(x) rows; bTail supplies b entries for rows len(x)..Size()-1.
+// It returns the full solution of length Size().
+func (c *Cholesky) ExtendSolveL(x []float64, bTail []float64) []float64 {
+	if len(x)+len(bTail) != c.n {
+		panic(fmt.Sprintf("mat: ExtendSolveL %d+%d != %d", len(x), len(bTail), c.n))
+	}
+	out := make([]float64, c.n)
+	copy(out, x)
+	for i := len(x); i < c.n; i++ {
+		li := c.l[i]
+		sum := bTail[i-len(x)]
+		for k := 0; k < i; k++ {
+			sum -= li[k] * out[k]
+		}
+		out[i] = sum / li[i]
+	}
+	return out
+}
+
+// Reconstruct multiplies L Lᵀ back into a dense matrix (testing aid).
+func (c *Cholesky) Reconstruct() *Matrix {
+	a := NewMatrix(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			m := j
+			for k := 0; k <= m; k++ {
+				s += c.l[i][k] * c.l[j][k]
+			}
+			a.Set(i, j, s)
+			a.Set(j, i, s)
+		}
+	}
+	return a
+}
+
+// SolveSPD factorises a and solves a x = b in one call, applying growing
+// jitter to the diagonal if the factorisation fails. It is the convenience
+// path for one-shot solves (hyper-parameter fitting evaluates many small
+// candidate matrices this way).
+func SolveSPD(a *Matrix, b []float64) ([]float64, *Cholesky, error) {
+	ch, err := CholeskyWithJitter(a, 1e-10, 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ch.Solve(b), ch, nil
+}
+
+// CholeskyWithJitter attempts NewCholesky, adding jitter·10^attempt to the
+// diagonal on failure, up to maxAttempts times.
+func CholeskyWithJitter(a *Matrix, jitter float64, maxAttempts int) (*Cholesky, error) {
+	ch, err := NewCholesky(a)
+	if err == nil {
+		return ch, nil
+	}
+	work := a.Clone()
+	added := 0.0
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		add := jitter*math.Pow(10, float64(attempt)) - added
+		work.AddDiag(add)
+		added += add
+		if ch, err = NewCholesky(work); err == nil {
+			return ch, nil
+		}
+	}
+	return nil, err
+}

@@ -1,0 +1,162 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// Gaussian-process surrogates: matrices, vectors, Cholesky factorisation with
+// incremental row/column extension, and triangular solves.
+//
+// The package is deliberately minimal — just what GP regression needs — and
+// uses flat row-major storage so the hot loops vectorise well.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equally-sized rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns a*b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += aik * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns a*x for a vector x.
+func MulVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// AddDiag adds v to every diagonal element of the square matrix m, in place.
+func (m *Matrix) AddDiag(v float64) {
+	if m.Rows != m.Cols {
+		panic("mat: AddDiag on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+}
+
+// SymmetrizeUpper copies the upper triangle onto the lower triangle.
+func (m *Matrix) SymmetrizeUpper() {
+	if m.Rows != m.Cols {
+		panic("mat: SymmetrizeUpper on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			m.Set(j, i, m.At(i, j))
+		}
+	}
+}
+
+// MaxAbsDiff returns the max absolute elementwise difference between a and b.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: MaxAbsDiff dimension mismatch")
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

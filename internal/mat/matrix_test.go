@@ -1,0 +1,383 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %g, want 6", m.At(1, 2))
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Errorf("Set/At round trip failed: got %g", m.At(0, 1))
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromRows with ragged rows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Errorf("empty FromRows dims = %dx%d, want 0x0", m.Rows, m.Cols)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(c, want) > 1e-12 {
+		t.Errorf("Mul = %v, want %v", c.Data, want.Data)
+	}
+}
+
+func TestMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul with mismatched dims did not panic")
+		}
+	}()
+	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := MulVec(a, []float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Errorf("MulVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Errorf("transpose wrong: %+v", at)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if !almostEqual(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Error("Norm2 wrong")
+	}
+}
+
+func TestAddDiagAndSymmetrize(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {0, 1}})
+	m.AddDiag(3)
+	if m.At(0, 0) != 4 || m.At(1, 1) != 4 {
+		t.Error("AddDiag wrong")
+	}
+	m.SymmetrizeUpper()
+	if m.At(1, 0) != 2 {
+		t.Error("SymmetrizeUpper wrong")
+	}
+}
+
+// randomSPD builds a random symmetric positive-definite matrix B Bᵀ + n I.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := Mul(b, b.T())
+	a.AddDiag(float64(n))
+	return a
+}
+
+func TestCholeskyReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 20} {
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := MaxAbsDiff(ch.Reconstruct(), a); d > 1e-9 {
+			t.Errorf("n=%d: reconstruct max diff %g", n, d)
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomSPD(rng, 12)
+	xTrue := make([]float64, 12)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := MulVec(a, xTrue)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.Solve(b)
+	for i := range x {
+		if !almostEqual(x[i], xTrue[i], 1e-8) {
+			t.Fatalf("Solve[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestCholeskyTriangularSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSPD(rng, 8)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 8)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	// L (L⁻¹ b) == b
+	y := ch.SolveL(b)
+	for i := 0; i < 8; i++ {
+		var s float64
+		for k := 0; k <= i; k++ {
+			s += ch.LRow(i)[k] * y[k]
+		}
+		if !almostEqual(s, b[i], 1e-9) {
+			t.Fatalf("SolveL row %d: L y = %g, want %g", i, s, b[i])
+		}
+	}
+	// Lᵀ (L⁻ᵀ b) == b
+	z := ch.SolveLT(b)
+	for i := 0; i < 8; i++ {
+		var s float64
+		for j := i; j < 8; j++ {
+			s += ch.LRow(j)[i] * z[j]
+		}
+		if !almostEqual(s, b[i], 1e-9) {
+			t.Fatalf("SolveLT row %d: Lᵀ z = %g, want %g", i, s, b[i])
+		}
+	}
+}
+
+// TestCholeskyExtendMatchesFull checks the incremental factorisation against
+// a from-scratch factorisation of the extended matrix.
+func TestCholeskyExtendMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, k := 10, 5
+	a := randomSPD(rng, n+k)
+
+	sub := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sub.Set(i, j, a.At(i, j))
+		}
+	}
+	ch, err := NewCholesky(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		rows[i] = make([]float64, n+i+1)
+		for j := 0; j <= n+i; j++ {
+			rows[i][j] = a.At(n+i, j)
+		}
+	}
+	if err := ch.Extend(rows); err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Size() != full.Size() {
+		t.Fatalf("size %d vs %d", ch.Size(), full.Size())
+	}
+	for i := 0; i < n+k; i++ {
+		for j := 0; j <= i; j++ {
+			if !almostEqual(ch.LRow(i)[j], full.LRow(i)[j], 1e-9) {
+				t.Fatalf("L[%d][%d]: incremental %g vs full %g", i, j, ch.LRow(i)[j], full.LRow(i)[j])
+			}
+		}
+	}
+}
+
+func TestCholeskyExtendBadRowLength(t *testing.T) {
+	a := FromRows([][]float64{{4}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Extend([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("Extend with bad row length succeeded")
+	}
+}
+
+func TestCholeskyExtendRollbackOnFailure(t *testing.T) {
+	a := FromRows([][]float64{{4}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appending a row that makes the matrix indefinite must fail and leave
+	// the factor at its previous size.
+	if err := ch.Extend([][]float64{{4, 1}}); err == nil {
+		t.Fatal("Extend with indefinite row succeeded")
+	}
+	if ch.Size() != 1 {
+		t.Fatalf("size after failed Extend = %d, want 1", ch.Size())
+	}
+	// And the factor must still work.
+	x := ch.Solve([]float64{8})
+	if !almostEqual(x[0], 2, 1e-12) {
+		t.Fatalf("Solve after rollback = %g, want 2", x[0])
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("factorising an indefinite matrix succeeded")
+	}
+}
+
+func TestCholeskyWithJitter(t *testing.T) {
+	// Singular (rank-1) matrix: plain Cholesky fails, jitter succeeds.
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("factorising a singular matrix succeeded without jitter")
+	}
+	ch, err := CholeskyWithJitter(a, 1e-10, 10)
+	if err != nil {
+		t.Fatalf("jittered factorisation failed: %v", err)
+	}
+	if ch.Size() != 2 {
+		t.Fatalf("size = %d, want 2", ch.Size())
+	}
+}
+
+func TestLogDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 9}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ch.LogDet(), math.Log(36), 1e-12) {
+		t.Errorf("LogDet = %g, want log 36 = %g", ch.LogDet(), math.Log(36))
+	}
+}
+
+func TestExtendSolveL(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSPD(rng, 7)
+	b := make([]float64, 7)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	sub := NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			sub.Set(i, j, a.At(i, j))
+		}
+	}
+	ch, err := NewCholesky(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x4 := ch.SolveL(b[:4])
+	rows := make([][]float64, 3)
+	for i := 0; i < 3; i++ {
+		rows[i] = make([]float64, 4+i+1)
+		for j := 0; j <= 4+i; j++ {
+			rows[i][j] = a.At(4+i, j)
+		}
+	}
+	if err := ch.Extend(rows); err != nil {
+		t.Fatal(err)
+	}
+	got := ch.ExtendSolveL(x4, b[4:])
+	want := ch.SolveL(b)
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-9) {
+			t.Fatalf("ExtendSolveL[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	x, ch, err := SolveSPD(a, []float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch == nil || !almostEqual(x[0], 1, 1e-10) || !almostEqual(x[1], 1, 1e-10) {
+		t.Errorf("SolveSPD = %v, want [1 1]", x)
+	}
+}
+
+// Property: for random SPD systems, A·Solve(b) == b.
+func TestQuickCholeskySolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(15)
+		a := randomSPD(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64() * 10
+		}
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := ch.Solve(b)
+		res := MulVec(a, x)
+		for i := range res {
+			if math.Abs(res[i]-b[i]) > 1e-7*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot is symmetric and bilinear in its first argument.
+func TestQuickDotProperties(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		for _, v := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		d1, d2 := Dot(a, b), Dot(b, a)
+		return d1 == d2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

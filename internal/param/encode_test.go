@@ -1,0 +1,74 @@
+package param
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEncodeIntoAlignsByPhysicalValue: Scenario One's source and target tune
+// the same knobs over different ranges; transfer must align them by physical
+// value.
+func TestEncodeIntoAlignsByPhysicalValue(t *testing.T) {
+	src := Source1Space()
+	tgt := Target1Space()
+	// freq = 1050 MHz is u=1.0 in Source1 ([950,1050]) but must land at
+	// (1050-1000)/300 = 1/6 in Target1 ([1000,1300]).
+	u := make([]float64, src.Dim())
+	for i := range u {
+		u[i] = 0.5
+	}
+	u[src.Index("freq")] = 1.0
+	cfg := src.MustConfig(u)
+	enc := cfg.EncodeInto(tgt)
+	want := (1050.0 - 1000.0) / 300.0
+	if got := enc[tgt.Index("freq")]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("freq alignment: got %g, want %g", got, want)
+	}
+	// place_uncertainty = 125 (mid of [50,200]) is (125-20)/80 in [20,100]:
+	// outside [0,1], which is correct — the point lies beyond the target
+	// range.
+	if got := enc[tgt.Index("place_uncertainty")]; got <= 1 {
+		t.Errorf("out-of-range coordinate should exceed 1, got %g", got)
+	}
+}
+
+func TestEncodeIntoEnumAndBool(t *testing.T) {
+	src := Source2Space()
+	tgt := Target2Space()
+	u := make([]float64, src.Dim())
+	u[src.Index("flowEffort")] = 1 // extreme
+	u[src.Index("clock_power_driven")] = 1
+	cfg := src.MustConfig(u)
+	enc := cfg.EncodeInto(tgt)
+	if got := enc[tgt.Index("flowEffort")]; got != 1 {
+		t.Errorf("enum level alignment: got %g, want 1", got)
+	}
+	if got := enc[tgt.Index("clock_power_driven")]; got != 1 {
+		t.Errorf("bool alignment: got %g, want 1", got)
+	}
+}
+
+func TestEncodeIntoMissingParameterDefaultsToMidpoint(t *testing.T) {
+	// Source2 has no freq; encoding into Target1 (which has) must default.
+	src := Source2Space()
+	tgt := Target1Space()
+	cfg := src.MustConfig(make([]float64, src.Dim()))
+	enc := cfg.EncodeInto(tgt)
+	if got := enc[tgt.Index("freq")]; got != 0.5 {
+		t.Errorf("missing parameter coordinate = %g, want 0.5", got)
+	}
+}
+
+// TestEncodeIntoIdentity: encoding into the same space is the identity on
+// the snapped grid.
+func TestEncodeIntoIdentity(t *testing.T) {
+	s := Target2Space()
+	u := []float64{0.3, 0.5, 1, 0, 0.7, 0.2, 0.9, 0.5, 0.1}
+	cfg := s.MustConfig(u)
+	enc := cfg.EncodeInto(s)
+	for i := range enc {
+		if math.Abs(enc[i]-cfg.UnitView()[i]) > 1e-9 {
+			t.Errorf("dim %d: encode-into-self %g != %g", i, enc[i], cfg.UnitView()[i])
+		}
+	}
+}

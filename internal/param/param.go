@@ -1,0 +1,379 @@
+// Package param models the tunable parameter space of a physical-design
+// tool: typed parameters (float, integer, enumeration, boolean) with ranges,
+// a Config value assigning each parameter, and a normalised [0,1]^d encoding
+// that surrogate models consume.
+//
+// The concrete spaces of the paper's Table 1 (Source1/Target1 with 12
+// parameters, Source2/Target2 with 9) are constructed in spaces.go.
+package param
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates parameter data types.
+type Kind int
+
+const (
+	// Float is a continuous parameter in [Min, Max].
+	Float Kind = iota
+	// Int is an integer parameter in [Min, Max] (inclusive).
+	Int
+	// Enum is a categorical parameter with ordered Levels.
+	Enum
+	// Bool is a FALSE/TRUE parameter.
+	Bool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Float:
+		return "float"
+	case Int:
+		return "int"
+	case Enum:
+		return "enum"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Param describes one tunable tool parameter.
+type Param struct {
+	Name string
+	Kind Kind
+	// Min, Max bound Float and Int parameters.
+	Min, Max float64
+	// Levels lists the ordered values of an Enum parameter (e.g. the flow
+	// effort ladder standard < high < extreme).
+	Levels []string
+}
+
+// Validate reports whether the parameter definition itself is well formed.
+func (p Param) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("param: unnamed parameter")
+	}
+	switch p.Kind {
+	case Float, Int:
+		if !(p.Min < p.Max) {
+			return fmt.Errorf("param %s: empty range [%g, %g]", p.Name, p.Min, p.Max)
+		}
+		if p.Kind == Int && (p.Min != math.Trunc(p.Min) || p.Max != math.Trunc(p.Max)) {
+			return fmt.Errorf("param %s: non-integer bounds [%g, %g]", p.Name, p.Min, p.Max)
+		}
+	case Enum:
+		if len(p.Levels) < 2 {
+			return fmt.Errorf("param %s: enum needs >=2 levels, got %d", p.Name, len(p.Levels))
+		}
+		seen := map[string]bool{}
+		for _, l := range p.Levels {
+			if seen[l] {
+				return fmt.Errorf("param %s: duplicate level %q", p.Name, l)
+			}
+			seen[l] = true
+		}
+	case Bool:
+		// nothing to check
+	default:
+		return fmt.Errorf("param %s: unknown kind %d", p.Name, int(p.Kind))
+	}
+	return nil
+}
+
+// levels returns the number of discrete settings, or 0 for Float.
+func (p Param) levels() int {
+	switch p.Kind {
+	case Int:
+		return int(p.Max-p.Min) + 1
+	case Enum:
+		return len(p.Levels)
+	case Bool:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Space is an ordered list of parameters defining the tuning domain E.
+type Space struct {
+	Name   string
+	Params []Param
+	index  map[string]int
+}
+
+// NewSpace validates the parameters and builds a Space.
+func NewSpace(name string, params []Param) (*Space, error) {
+	s := &Space{Name: name, Params: params, index: make(map[string]int, len(params))}
+	for i, p := range params {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := s.index[p.Name]; dup {
+			return nil, fmt.Errorf("param: duplicate parameter %q in space %q", p.Name, name)
+		}
+		s.index[p.Name] = i
+	}
+	return s, nil
+}
+
+// MustSpace is NewSpace that panics on error; for package-level tables.
+func MustSpace(name string, params []Param) *Space {
+	s, err := NewSpace(name, params)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dim returns the number of parameters.
+func (s *Space) Dim() int { return len(s.Params) }
+
+// Index returns the position of the named parameter, or -1.
+func (s *Space) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Config is one parameter configuration: a point in the space, stored in
+// normalised coordinates u ∈ [0,1]^d. Discrete parameters snap to level
+// midpoint grid values so equal decoded settings compare equal.
+type Config struct {
+	space *Space
+	u     []float64
+}
+
+// NewConfig builds a Config from normalised coordinates, snapping discrete
+// dimensions to their level grid and clamping to [0,1].
+func (s *Space) NewConfig(u []float64) (Config, error) {
+	if len(u) != s.Dim() {
+		return Config{}, fmt.Errorf("param: config has %d coords, space %q has %d", len(u), s.Name, s.Dim())
+	}
+	v := make([]float64, len(u))
+	for i, p := range s.Params {
+		x := u[i]
+		if math.IsNaN(x) {
+			return Config{}, fmt.Errorf("param: NaN coordinate for %s", p.Name)
+		}
+		x = math.Max(0, math.Min(1, x))
+		if n := p.levels(); n > 0 {
+			// Snap to the midpoint grid {0, 1/(n-1), ..., 1} so that decoding
+			// and re-encoding is the identity.
+			step := 1.0 / float64(n-1)
+			x = math.Round(x/step) * step
+			x = math.Max(0, math.Min(1, x))
+		}
+		v[i] = x
+	}
+	return Config{space: s, u: v}, nil
+}
+
+// MustConfig is NewConfig that panics on error.
+func (s *Space) MustConfig(u []float64) Config {
+	c, err := s.NewConfig(u)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Space returns the space the configuration belongs to.
+func (c Config) Space() *Space { return c.space }
+
+// Unit returns the normalised coordinates (a copy).
+func (c Config) Unit() []float64 {
+	out := make([]float64, len(c.u))
+	copy(out, c.u)
+	return out
+}
+
+// UnitView returns the normalised coordinates without copying. Treat as
+// read-only; surrogate hot loops use this to avoid allocation.
+func (c Config) UnitView() []float64 { return c.u }
+
+// Float returns the decoded value of a Float or Int parameter by name.
+func (c Config) Float(name string) float64 {
+	i := c.space.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("param: no parameter %q in space %q", name, c.space.Name))
+	}
+	p := c.space.Params[i]
+	switch p.Kind {
+	case Float:
+		return p.Min + c.u[i]*(p.Max-p.Min)
+	case Int:
+		return math.Round(p.Min + c.u[i]*(p.Max-p.Min))
+	default:
+		panic(fmt.Sprintf("param: %s is %s, not numeric", name, p.Kind))
+	}
+}
+
+// Int returns the decoded value of an Int parameter by name.
+func (c Config) Int(name string) int { return int(c.Float(name)) }
+
+// Enum returns the decoded level of an Enum parameter by name.
+func (c Config) Enum(name string) string {
+	i := c.space.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("param: no parameter %q in space %q", name, c.space.Name))
+	}
+	p := c.space.Params[i]
+	if p.Kind != Enum {
+		panic(fmt.Sprintf("param: %s is %s, not enum", name, p.Kind))
+	}
+	n := len(p.Levels)
+	idx := int(math.Round(c.u[i] * float64(n-1)))
+	if idx < 0 {
+		idx = 0
+	} else if idx >= n {
+		idx = n - 1
+	}
+	return p.Levels[idx]
+}
+
+// Bool returns the decoded value of a Bool parameter by name.
+func (c Config) Bool(name string) bool {
+	i := c.space.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("param: no parameter %q in space %q", name, c.space.Name))
+	}
+	if c.space.Params[i].Kind != Bool {
+		panic(fmt.Sprintf("param: %s is %s, not bool", name, c.space.Params[i].Kind))
+	}
+	return c.u[i] >= 0.5
+}
+
+// Has reports whether the space defines the named parameter.
+func (c Config) Has(name string) bool { return c.space.Index(name) >= 0 }
+
+// FloatOr returns the decoded float value, or def when the parameter is not
+// part of this space ("-" entries in Table 1).
+func (c Config) FloatOr(name string, def float64) float64 {
+	if !c.Has(name) {
+		return def
+	}
+	return c.Float(name)
+}
+
+// BoolOr is FloatOr for booleans.
+func (c Config) BoolOr(name string, def bool) bool {
+	if !c.Has(name) {
+		return def
+	}
+	return c.Bool(name)
+}
+
+// EnumOr is FloatOr for enums.
+func (c Config) EnumOr(name, def string) string {
+	if !c.Has(name) {
+		return def
+	}
+	return c.Enum(name)
+}
+
+// Key returns a canonical string identity for the configuration, usable as a
+// map key for deduplication.
+func (c Config) Key() string {
+	var b strings.Builder
+	for i, x := range c.u {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%.9f", x)
+	}
+	return b.String()
+}
+
+// String renders the decoded settings, for logs and CSV headers.
+func (c Config) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range c.space.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Name)
+		b.WriteByte('=')
+		switch p.Kind {
+		case Float:
+			fmt.Fprintf(&b, "%.4g", c.Float(p.Name))
+		case Int:
+			fmt.Fprintf(&b, "%d", c.Int(p.Name))
+		case Enum:
+			b.WriteString(c.Enum(p.Name))
+		case Bool:
+			fmt.Fprintf(&b, "%v", c.Bool(p.Name))
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// EncodeInto re-expresses the configuration in another space's normalised
+// coordinates by matching parameters by name and physical value: a freq of
+// 1050 MHz from a [950, 1050] source range lands at u = 1/6 in a
+// [1000, 1300] target range. Coordinates may fall outside [0, 1] when the
+// source range extends beyond the target's — exactly what a transfer
+// surrogate wants, since the point is physically outside the target domain.
+// Parameters absent from either space default to the target-space midpoint.
+func (c Config) EncodeInto(to *Space) []float64 {
+	u := make([]float64, to.Dim())
+	for i, p := range to.Params {
+		if !c.Has(p.Name) {
+			u[i] = 0.5
+			continue
+		}
+		switch p.Kind {
+		case Float, Int:
+			u[i] = (c.Float(p.Name) - p.Min) / (p.Max - p.Min)
+		case Enum:
+			level := c.Enum(p.Name)
+			idx := -1
+			for li, l := range p.Levels {
+				if l == level {
+					idx = li
+					break
+				}
+			}
+			if idx < 0 {
+				u[i] = 0.5 // level unknown to the target ladder
+			} else {
+				u[i] = float64(idx) / float64(len(p.Levels)-1)
+			}
+		case Bool:
+			if c.Bool(p.Name) {
+				u[i] = 1
+			}
+		}
+	}
+	return u
+}
+
+// Stats summarises a space as (name, kind, min, max) rows sorted by name —
+// the content of the paper's Table 1 for one benchmark.
+func (s *Space) Stats() []string {
+	rows := make([]string, 0, s.Dim())
+	for _, p := range s.Params {
+		var lo, hi string
+		switch p.Kind {
+		case Float:
+			lo, hi = fmt.Sprintf("%.2f", p.Min), fmt.Sprintf("%.2f", p.Max)
+		case Int:
+			lo, hi = fmt.Sprintf("%d", int(p.Min)), fmt.Sprintf("%d", int(p.Max))
+		case Enum:
+			lo, hi = p.Levels[0], p.Levels[len(p.Levels)-1]
+		case Bool:
+			lo, hi = "FALSE", "TRUE"
+		}
+		rows = append(rows, fmt.Sprintf("%s\t%s\t%s\t%s", p.Name, p.Kind, lo, hi))
+	}
+	sort.Strings(rows)
+	return rows
+}

@@ -1,0 +1,250 @@
+package param
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Param
+		ok   bool
+	}{
+		{"float ok", Param{Name: "f", Kind: Float, Min: 0, Max: 1}, true},
+		{"float empty range", Param{Name: "f", Kind: Float, Min: 1, Max: 1}, false},
+		{"float inverted", Param{Name: "f", Kind: Float, Min: 2, Max: 1}, false},
+		{"int ok", Param{Name: "i", Kind: Int, Min: 1, Max: 5}, true},
+		{"int fractional bound", Param{Name: "i", Kind: Int, Min: 1.5, Max: 5}, false},
+		{"enum ok", Param{Name: "e", Kind: Enum, Levels: []string{"a", "b"}}, true},
+		{"enum one level", Param{Name: "e", Kind: Enum, Levels: []string{"a"}}, false},
+		{"enum duplicate", Param{Name: "e", Kind: Enum, Levels: []string{"a", "a"}}, false},
+		{"bool ok", Param{Name: "b", Kind: Bool}, true},
+		{"unnamed", Param{Kind: Bool}, false},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestNewSpaceDuplicate(t *testing.T) {
+	_, err := NewSpace("s", []Param{
+		{Name: "x", Kind: Bool},
+		{Name: "x", Kind: Bool},
+	})
+	if err == nil {
+		t.Fatal("duplicate parameter name accepted")
+	}
+}
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	return MustSpace("test", []Param{
+		{Name: "freq", Kind: Float, Min: 1000, Max: 1300},
+		{Name: "fanout", Kind: Int, Min: 25, Max: 50},
+		{Name: "effort", Kind: Enum, Levels: []string{"standard", "high", "extreme"}},
+		{Name: "uniform", Kind: Bool},
+	})
+}
+
+func TestConfigDecode(t *testing.T) {
+	s := testSpace(t)
+	c := s.MustConfig([]float64{0.5, 0, 1, 0.9})
+	if got := c.Float("freq"); got != 1150 {
+		t.Errorf("freq = %g, want 1150", got)
+	}
+	if got := c.Int("fanout"); got != 25 {
+		t.Errorf("fanout = %d, want 25", got)
+	}
+	if got := c.Enum("effort"); got != "extreme" {
+		t.Errorf("effort = %q, want extreme", got)
+	}
+	if !c.Bool("uniform") {
+		t.Error("uniform = false, want true")
+	}
+}
+
+func TestConfigClampAndSnap(t *testing.T) {
+	s := testSpace(t)
+	c := s.MustConfig([]float64{-0.5, 2.0, 0.49, 0.4})
+	if got := c.Float("freq"); got != 1000 {
+		t.Errorf("clamped freq = %g, want 1000", got)
+	}
+	if got := c.Int("fanout"); got != 50 {
+		t.Errorf("clamped fanout = %d, want 50", got)
+	}
+	// 0.49 with 3 levels snaps to 0.5 -> "high"
+	if got := c.Enum("effort"); got != "high" {
+		t.Errorf("snapped effort = %q, want high", got)
+	}
+	if c.Bool("uniform") {
+		t.Error("uniform = true, want false")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	s := testSpace(t)
+	if _, err := s.NewConfig([]float64{0, 0}); err == nil {
+		t.Error("short coordinate vector accepted")
+	}
+	if _, err := s.NewConfig([]float64{math.NaN(), 0, 0, 0}); err == nil {
+		t.Error("NaN coordinate accepted")
+	}
+}
+
+func TestConfigTypePanics(t *testing.T) {
+	s := testSpace(t)
+	c := s.MustConfig([]float64{0, 0, 0, 0})
+	for name, f := range map[string]func(){
+		"Float on enum":   func() { c.Float("effort") },
+		"Enum on float":   func() { c.Enum("freq") },
+		"Bool on int":     func() { c.Bool("fanout") },
+		"missing name":    func() { c.Float("nope") },
+		"missing in enum": func() { c.Enum("nope") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConfigOrDefaults(t *testing.T) {
+	s := testSpace(t)
+	c := s.MustConfig([]float64{1, 1, 0, 1})
+	if got := c.FloatOr("missing", 42); got != 42 {
+		t.Errorf("FloatOr default = %g, want 42", got)
+	}
+	if got := c.FloatOr("freq", 42); got != 1300 {
+		t.Errorf("FloatOr present = %g, want 1300", got)
+	}
+	if !c.BoolOr("missing", true) || !c.BoolOr("uniform", false) {
+		t.Error("BoolOr wrong")
+	}
+	if got := c.EnumOr("missing", "dflt"); got != "dflt" {
+		t.Errorf("EnumOr default = %q", got)
+	}
+}
+
+func TestConfigKeyAndString(t *testing.T) {
+	s := testSpace(t)
+	a := s.MustConfig([]float64{0.25, 0.5, 0.5, 1})
+	b := s.MustConfig([]float64{0.25, 0.5, 0.5, 1})
+	if a.Key() != b.Key() {
+		t.Error("equal configs have different keys")
+	}
+	c := s.MustConfig([]float64{0.26, 0.5, 0.5, 1})
+	if a.Key() == c.Key() {
+		t.Error("different configs share a key")
+	}
+	str := a.String()
+	for _, want := range []string{"freq=", "effort=high", "uniform=true"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestUnitCopySemantics(t *testing.T) {
+	s := testSpace(t)
+	c := s.MustConfig([]float64{0.5, 0.5, 0.5, 1})
+	u := c.Unit()
+	u[0] = 0.99
+	if c.UnitView()[0] == 0.99 {
+		t.Error("Unit() returned a view, want a copy")
+	}
+}
+
+// Property: decode∘encode is the identity on the snapped grid — building a
+// Config from another Config's unit coordinates preserves every decoded
+// setting.
+func TestQuickConfigRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	f := func(a, b, c, d float64) bool {
+		u := []float64{wrap01(a), wrap01(b), wrap01(c), wrap01(d)}
+		c1 := s.MustConfig(u)
+		c2 := s.MustConfig(c1.Unit())
+		return c1.Key() == c2.Key() &&
+			c1.Float("freq") == c2.Float("freq") &&
+			c1.Int("fanout") == c2.Int("fanout") &&
+			c1.Enum("effort") == c2.Enum("effort") &&
+			c1.Bool("uniform") == c2.Bool("uniform")
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func wrap01(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Abs(math.Mod(x, 1))
+}
+
+func TestTable1Spaces(t *testing.T) {
+	cases := []struct {
+		space *Space
+		dim   int
+		// spot checks straight from Table 1
+		param    string
+		min, max float64
+	}{
+		{Source1Space(), 12, "freq", 950, 1050},
+		{Target1Space(), 12, "freq", 1000, 1300},
+		{Source2Space(), 9, "max_capacitance", 0.07, 0.12},
+		{Target2Space(), 9, "max_capacitance", 0.05, 0.15},
+	}
+	for _, c := range cases {
+		if c.space.Dim() != c.dim {
+			t.Errorf("%s: dim = %d, want %d", c.space.Name, c.space.Dim(), c.dim)
+		}
+		i := c.space.Index(c.param)
+		if i < 0 {
+			t.Errorf("%s: missing %s", c.space.Name, c.param)
+			continue
+		}
+		p := c.space.Params[i]
+		if p.Min != c.min || p.Max != c.max {
+			t.Errorf("%s.%s: range [%g, %g], want [%g, %g]", c.space.Name, c.param, p.Min, p.Max, c.min, c.max)
+		}
+	}
+	// Scenario Two spaces must agree on the parameter set (transfer across
+	// designs keeps the same knobs).
+	s2, t2 := Source2Space(), Target2Space()
+	for _, p := range s2.Params {
+		if t2.Index(p.Name) < 0 {
+			t.Errorf("Target2 missing Source2 parameter %s", p.Name)
+		}
+	}
+	// Scenario One: Source1 and Target1 must also share the parameter list.
+	s1, t1 := Source1Space(), Target1Space()
+	for _, p := range s1.Params {
+		if t1.Index(p.Name) < 0 {
+			t.Errorf("Target1 missing Source1 parameter %s", p.Name)
+		}
+	}
+}
+
+func TestSpaceStats(t *testing.T) {
+	rows := Source2Space().Stats()
+	if len(rows) != 9 {
+		t.Fatalf("Stats rows = %d, want 9", len(rows))
+	}
+	joined := strings.Join(rows, "\n")
+	for _, want := range []string{"place_rcfactor", "1.00", "1.30", "flowEffort", "standard", "extreme", "FALSE", "TRUE"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Stats missing %q in:\n%s", want, joined)
+		}
+	}
+}

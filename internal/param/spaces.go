@@ -1,0 +1,82 @@
+package param
+
+// This file encodes the paper's Table 1: the tool-parameter statistics of
+// the four industrial benchmarks. A "-" entry in the table means the
+// parameter is not tuned in that benchmark, so it is simply absent from the
+// corresponding Space (the flow simulator falls back to its default).
+
+// Effort ladders used by the PD tool.
+var (
+	FlowEffortLevels = []string{"standard", "high", "extreme"}
+	TimingEffort     = []string{"medium", "high"}
+	CongEffortLevels = []string{"AUTO", "MEDIUM", "HIGH"}
+)
+
+// Source1Space is the 12-parameter source task of Scenario One (small MAC).
+func Source1Space() *Space {
+	return MustSpace("Source1", []Param{
+		{Name: "freq", Kind: Float, Min: 950, Max: 1050},
+		{Name: "place_uncertainty", Kind: Float, Min: 50, Max: 200},
+		{Name: "flowEffort", Kind: Enum, Levels: FlowEffortLevels},
+		{Name: "uniform_density", Kind: Bool},
+		{Name: "cong_effort", Kind: Enum, Levels: CongEffortLevels},
+		{Name: "max_density", Kind: Float, Min: 0.65, Max: 0.90},
+		{Name: "max_Length", Kind: Float, Min: 160, Max: 310},
+		{Name: "max_Density", Kind: Float, Min: 0.65, Max: 0.90},
+		{Name: "max_transition", Kind: Float, Min: 0.19, Max: 0.34},
+		{Name: "max_capacitance", Kind: Float, Min: 0.08, Max: 0.13},
+		{Name: "max_fanout", Kind: Int, Min: 25, Max: 50},
+		{Name: "max_AllowedDelay", Kind: Float, Min: 0.00, Max: 0.25},
+	})
+}
+
+// Target1Space is the 12-parameter target task of Scenario One: the same
+// small MAC design explored over shifted ranges (a designer re-tuning the
+// same block with different quality preferences).
+func Target1Space() *Space {
+	return MustSpace("Target1", []Param{
+		{Name: "freq", Kind: Float, Min: 1000, Max: 1300},
+		{Name: "place_uncertainty", Kind: Float, Min: 20, Max: 100},
+		{Name: "flowEffort", Kind: Enum, Levels: FlowEffortLevels},
+		{Name: "uniform_density", Kind: Bool},
+		{Name: "cong_effort", Kind: Enum, Levels: CongEffortLevels},
+		{Name: "max_density", Kind: Float, Min: 0.65, Max: 0.90},
+		{Name: "max_Length", Kind: Float, Min: 160, Max: 300},
+		{Name: "max_Density", Kind: Float, Min: 0.65, Max: 0.90},
+		{Name: "max_transition", Kind: Float, Min: 0.10, Max: 0.35},
+		{Name: "max_capacitance", Kind: Float, Min: 0.08, Max: 0.20},
+		{Name: "max_fanout", Kind: Int, Min: 25, Max: 50},
+		{Name: "max_AllowedDelay", Kind: Float, Min: 0.00, Max: 0.25},
+	})
+}
+
+// Source2Space is the 9-parameter source task of Scenario Two (small MAC).
+func Source2Space() *Space {
+	return MustSpace("Source2", []Param{
+		{Name: "place_rcfactor", Kind: Float, Min: 1.00, Max: 1.30},
+		{Name: "flowEffort", Kind: Enum, Levels: FlowEffortLevels},
+		{Name: "timing_effort", Kind: Enum, Levels: TimingEffort},
+		{Name: "clock_power_driven", Kind: Bool},
+		{Name: "max_Length", Kind: Float, Min: 250, Max: 350},
+		{Name: "max_Density", Kind: Float, Min: 0.50, Max: 1.00},
+		{Name: "max_capacitance", Kind: Float, Min: 0.07, Max: 0.12},
+		{Name: "max_fanout", Kind: Int, Min: 25, Max: 40},
+		{Name: "max_AllowedDelay", Kind: Float, Min: 0.06, Max: 0.12},
+	})
+}
+
+// Target2Space is the 9-parameter target task of Scenario Two: the larger
+// MAC design (the paper's ~67k-cell block).
+func Target2Space() *Space {
+	return MustSpace("Target2", []Param{
+		{Name: "place_rcfactor", Kind: Float, Min: 1.00, Max: 1.30},
+		{Name: "flowEffort", Kind: Enum, Levels: FlowEffortLevels},
+		{Name: "timing_effort", Kind: Enum, Levels: TimingEffort},
+		{Name: "clock_power_driven", Kind: Bool},
+		{Name: "max_Length", Kind: Float, Min: 250, Max: 350},
+		{Name: "max_Density", Kind: Float, Min: 0.50, Max: 1.00},
+		{Name: "max_capacitance", Kind: Float, Min: 0.05, Max: 0.15},
+		{Name: "max_fanout", Kind: Int, Min: 25, Max: 39},
+		{Name: "max_AllowedDelay", Kind: Float, Min: 0.00, Max: 0.12},
+	})
+}

@@ -1,0 +1,105 @@
+// Package cts models clock-tree synthesis: an H-tree of clock buffers over
+// the placed registers, yielding buffer count, clock wirelength, skew, and
+// the capacitance the clock net switches every cycle. The tool's
+// clock_power_driven switch trades a leaner tree (lower clock power) for a
+// little extra skew, as the Innovus option does.
+package cts
+
+import (
+	"fmt"
+	"math"
+
+	"ppatuner/internal/pdtool/lib"
+)
+
+// Options configures clock-tree synthesis.
+type Options struct {
+	// PowerDriven enables power-aware clustering (clock_power_driven).
+	PowerDriven bool
+	// LeafFanout is the register count served per leaf buffer (default 24).
+	LeafFanout int
+}
+
+// Result describes the synthesised clock tree.
+type Result struct {
+	Levels      int
+	Buffers     int
+	WirelenUm   float64
+	SkewPS      float64
+	InsertionPS float64
+	// SwitchedCapFF is the capacitance toggled each clock edge: tree wire,
+	// buffer input pins, and register clock pins.
+	SwitchedCapFF float64
+	// Leakage of the clock buffers, nW.
+	LeakageNW float64
+	// Area of the clock buffers, µm².
+	AreaUm2 float64
+}
+
+// Synthesize builds the clock-tree model for nRegs registers on a
+// coreW×coreH die.
+func Synthesize(l *lib.Library, nRegs int, coreW, coreH float64, opt Options) (*Result, error) {
+	if nRegs <= 0 {
+		return nil, fmt.Errorf("cts: %d registers", nRegs)
+	}
+	if coreW <= 0 || coreH <= 0 {
+		return nil, fmt.Errorf("cts: empty core %gx%g", coreW, coreH)
+	}
+	leaf := opt.LeafFanout
+	if leaf <= 0 {
+		leaf = 24
+	}
+	leaves := (nRegs + leaf - 1) / leaf
+	levels := 0
+	for 1<<(2*levels) < leaves { // 4^levels >= leaves
+		levels++
+	}
+
+	buffers := 0
+	wirelen := 0.0
+	side := (coreW + coreH) / 2
+	for lv := 1; lv <= levels; lv++ {
+		branches := 1 << (2 * lv) // 4^lv
+		buffers += branches
+		// Each level-lv branch spans side / 2^lv.
+		wirelen += float64(branches) * side / float64(int(1)<<lv)
+	}
+	// Leaf-level stubs to the registers.
+	avgStub := side / (2 * math.Sqrt(float64(leaves)+1))
+	wirelen += float64(nRegs) * avgStub * 0.5
+	if opt.PowerDriven {
+		// Power-aware clustering reroutes the tree for capacitance at the
+		// cost of balance: shorter wires, slightly worse skew (applied
+		// below).
+		wirelen *= 0.85
+	}
+
+	clkbuf := l.Cell(lib.ClkBuf)
+	dff := l.Cell(lib.DFF)
+	// Clock pin cap ≈ 60% of the D-pin cap model.
+	clkPin := 0.6 * dff.InCap
+
+	res := &Result{
+		Levels:        levels,
+		Buffers:       buffers,
+		WirelenUm:     wirelen,
+		SwitchedCapFF: wirelen*l.WireCapPerUm + float64(buffers)*clkbuf.InCap + float64(nRegs)*clkPin,
+		LeakageNW:     float64(buffers) * clkbuf.Leakage,
+		AreaUm2:       float64(buffers) * clkbuf.Area,
+	}
+	// Skew: per-level mismatch accumulates; power-driven trees are slightly
+	// less balanced.
+	res.SkewPS = 4 + 1.8*float64(levels)
+	res.InsertionPS = float64(levels) * (clkbuf.Intrinsic + l.WireDelayPS(clkbuf.DriveRes, side/float64(uintMax(1, levels*2)), clkbuf.InCap*4))
+	if opt.PowerDriven {
+		res.SkewPS *= 1.30
+	}
+	return res, nil
+}
+
+func uintMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

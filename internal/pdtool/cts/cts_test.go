@@ -1,0 +1,103 @@
+package cts
+
+import (
+	"testing"
+
+	"ppatuner/internal/pdtool/lib"
+)
+
+func TestSynthesizeBasics(t *testing.T) {
+	l := lib.Default7nm()
+	res, err := Synthesize(l, 200, 50, 50, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buffers <= 0 || res.WirelenUm <= 0 || res.SwitchedCapFF <= 0 {
+		t.Errorf("degenerate tree: %+v", res)
+	}
+	if res.SkewPS <= 0 || res.InsertionPS <= 0 {
+		t.Errorf("non-positive skew/insertion: %+v", res)
+	}
+	if res.AreaUm2 <= 0 || res.LeakageNW <= 0 {
+		t.Errorf("non-positive buffer overheads: %+v", res)
+	}
+}
+
+func TestSynthesizeScalesWithRegisters(t *testing.T) {
+	l := lib.Default7nm()
+	small, err := Synthesize(l, 100, 40, 40, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Synthesize(l, 2000, 40, 40, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(big.Buffers > small.Buffers) {
+		t.Errorf("more registers, fewer buffers: %d vs %d", big.Buffers, small.Buffers)
+	}
+	if !(big.SwitchedCapFF > small.SwitchedCapFF) {
+		t.Error("more registers did not increase switched cap")
+	}
+	if !(big.Levels >= small.Levels) {
+		t.Errorf("levels decreased: %d vs %d", big.Levels, small.Levels)
+	}
+}
+
+func TestPowerDrivenTradesPowerForSkew(t *testing.T) {
+	l := lib.Default7nm()
+	normal, err := Synthesize(l, 1000, 60, 60, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := Synthesize(l, 1000, 60, 60, Options{PowerDriven: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pd.SwitchedCapFF < normal.SwitchedCapFF) {
+		t.Errorf("power-driven cap %g !< normal %g", pd.SwitchedCapFF, normal.SwitchedCapFF)
+	}
+	if !(pd.SkewPS > normal.SkewPS) {
+		t.Errorf("power-driven skew %g !> normal %g", pd.SkewPS, normal.SkewPS)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	l := lib.Default7nm()
+	if _, err := Synthesize(l, 0, 10, 10, Options{}); err == nil {
+		t.Error("0 registers accepted")
+	}
+	if _, err := Synthesize(l, 10, 0, 10, Options{}); err == nil {
+		t.Error("empty core accepted")
+	}
+}
+
+func TestSynthesizeSingleLeaf(t *testing.T) {
+	l := lib.Default7nm()
+	// Few registers: everything fits under one leaf buffer, zero levels.
+	res, err := Synthesize(l, 5, 10, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels != 0 || res.Buffers != 0 {
+		t.Errorf("tiny design grew a tree: %+v", res)
+	}
+	if res.SwitchedCapFF <= 0 {
+		t.Error("clock pins must still switch")
+	}
+}
+
+func TestBiggerDieLongerClockWires(t *testing.T) {
+	l := lib.Default7nm()
+	smallDie, err := Synthesize(l, 500, 30, 30, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigDie, err := Synthesize(l, 500, 120, 120, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bigDie.WirelenUm > smallDie.WirelenUm) {
+		t.Errorf("bigger die has shorter clock wires: %g vs %g", bigDie.WirelenUm, smallDie.WirelenUm)
+	}
+}

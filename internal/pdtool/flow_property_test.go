@@ -1,0 +1,107 @@
+package pdtool
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppatuner/internal/param"
+)
+
+// TestPropertyFreqMonotonePower: at any operating point, raising only the
+// target frequency must raise power (dynamic power is linear in f) — a
+// global invariant of the flow, not just of one corner.
+func TestPropertyFreqMonotonePower(t *testing.T) {
+	s := param.Target1Space()
+	rng := rand.New(rand.NewSource(61))
+	freqIdx := s.Index("freq")
+	for trial := 0; trial < 6; trial++ {
+		u := make([]float64, s.Dim())
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		u[freqIdx] = 0.1
+		qLo, _, err := Run(SmallMAC(), s.MustConfig(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		u[freqIdx] = 0.9
+		qHi, _, err := Run(SmallMAC(), s.MustConfig(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The heuristic field and jitter can add a few percent each way;
+		// the 24% frequency step must dominate them.
+		if !(qHi.PowerMW > qLo.PowerMW) {
+			t.Errorf("trial %d: power %g at high freq !> %g at low freq", trial, qHi.PowerMW, qLo.PowerMW)
+		}
+	}
+}
+
+// TestPropertyUtilizationMonotoneArea: raising only max_Density (the die
+// utilisation target) must not grow the die.
+func TestPropertyUtilizationMonotoneArea(t *testing.T) {
+	s := param.Target1Space()
+	rng := rand.New(rand.NewSource(62))
+	idx := s.Index("max_Density")
+	for trial := 0; trial < 6; trial++ {
+		u := make([]float64, s.Dim())
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		u[idx] = 0.0
+		qLo, _, err := Run(SmallMAC(), s.MustConfig(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		u[idx] = 1.0
+		qHi, _, err := Run(SmallMAC(), s.MustConfig(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow the few-percent heuristic/jitter ripple; catch inversions.
+		if qHi.AreaUm2 > qLo.AreaUm2*1.05 {
+			t.Errorf("trial %d: area %g at util 0.9 > %g at util 0.65", trial, qHi.AreaUm2, qLo.AreaUm2)
+		}
+	}
+}
+
+// TestHoldReportedInFlow: the timing report must carry hold analysis.
+func TestHoldReportedInFlow(t *testing.T) {
+	s := param.Target1Space()
+	u := make([]float64, s.Dim())
+	for i := range u {
+		u[i] = 0.5
+	}
+	_, rep, err := Run(SmallMAC(), s.MustConfig(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Timing.MinPathPS <= 0 {
+		t.Errorf("min path %g not reported", rep.Timing.MinPathPS)
+	}
+	if rep.Timing.MinPathPS > rep.Timing.CriticalPathPS {
+		t.Error("min path exceeds critical path")
+	}
+}
+
+// TestEffortKnobsLadder: the flowEffort ladder maps to strictly increasing
+// engine budgets.
+func TestEffortKnobsLadder(t *testing.T) {
+	pi1, op1, ms1 := effortKnobs("standard")
+	pi2, op2, ms2 := effortKnobs("high")
+	pi3, op3, ms3 := effortKnobs("extreme")
+	if !(pi1 < pi2 && pi2 < pi3) {
+		t.Error("placement iterations not increasing with effort")
+	}
+	if !(op1 < op2 && op2 < op3) {
+		t.Error("optimisation passes not increasing with effort")
+	}
+	if !(ms1 < ms2 && ms2 < ms3) {
+		t.Error("max drive size not increasing with effort")
+	}
+	// Unknown strings fall back to standard.
+	piX, opX, msX := effortKnobs("bogus")
+	if piX != pi1 || opX != op1 || msX != ms1 {
+		t.Error("unknown effort does not default to standard")
+	}
+}

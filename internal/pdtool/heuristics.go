@@ -1,0 +1,166 @@
+package pdtool
+
+import (
+	"math"
+	"math/rand"
+
+	"ppatuner/internal/param"
+)
+
+// refRange is the fixed reference range used to express every tool parameter
+// on a common scale for the heuristic field. Ranges cover the union of all
+// benchmark spaces (Table 1) with slack, so a given physical setting always
+// maps to the same field coordinate regardless of which space it came from —
+// that is precisely what makes the field transferable across tasks.
+var refRange = map[string][2]float64{
+	"freq":               {900, 1400},
+	"place_rcfactor":     {0.95, 1.35},
+	"place_uncertainty":  {10, 220},
+	"flowEffort":         {0, 2},
+	"timing_effort":      {0, 1},
+	"clock_power_driven": {0, 1},
+	"uniform_density":    {0, 1},
+	"cong_effort":        {0, 2},
+	"max_density":        {0.60, 0.95},
+	"max_Length":         {150, 360},
+	"max_Density":        {0.45, 1.05},
+	"max_transition":     {0.08, 0.40},
+	"max_capacitance":    {0.04, 0.22},
+	"max_fanout":         {20, 55},
+	"max_AllowedDelay":   {0, 0.30},
+}
+
+// heuristicAmp is the amplitude of the heuristic field per metric (±8%).
+const heuristicAmp = 0.08
+
+// nProj is the number of random projections composing the field.
+const nProj = 5
+
+// heuristicCoeffs holds the fixed projection weights and phases, generated
+// once from a fixed seed so the field is a constant of "the tool".
+var heuristicCoeffs = func() (c struct {
+	w     map[string][]float64 // per-parameter projection weights
+	freq  [nProj]float64
+	phase [3][nProj]float64
+}) {
+	rng := rand.New(rand.NewSource(20220710)) // DAC'22 conference date
+	c.w = make(map[string][]float64, len(refRange))
+	names := []string{
+		"freq", "place_rcfactor", "place_uncertainty", "flowEffort",
+		"timing_effort", "clock_power_driven", "uniform_density",
+		"cong_effort", "max_density", "max_Length", "max_Density",
+		"max_transition", "max_capacitance", "max_fanout", "max_AllowedDelay",
+	}
+	for _, n := range names {
+		c.w[n] = make([]float64, nProj)
+	}
+	// Sparse interactions: each projection couples exactly two parameters,
+	// the way real heuristics gate on a pair of settings (e.g. a congestion
+	// recipe that kicks in for high density combined with low effort). Sparse
+	// structure is what keeps the field *learnable* — a surrogate with
+	// per-dimension lengthscales can discover which knobs interact.
+	for j := 0; j < nProj; j++ {
+		a := rng.Intn(len(names))
+		b := rng.Intn(len(names) - 1)
+		if b >= a {
+			b++
+		}
+		c.w[names[a]][j] = 1.0 + 0.8*rng.Float64()
+		c.w[names[b]][j] = -(1.0 + 0.8*rng.Float64())
+	}
+	for j := 0; j < nProj; j++ {
+		c.freq[j] = 1.2 + 1.8*rng.Float64() // cycles across the field
+		for k := 0; k < 3; k++ {
+			c.phase[k][j] = 2 * math.Pi * rng.Float64()
+		}
+	}
+	return c
+}()
+
+// fieldCoord maps a parameter's physical value to [0, 1] on the reference
+// scale.
+func fieldCoord(name string, v float64) float64 {
+	r, ok := refRange[name]
+	if !ok {
+		return 0.5
+	}
+	return (v - r[0]) / (r[1] - r[0])
+}
+
+// physValue extracts the parameter's physical value from the config (or its
+// tool default when the benchmark does not tune it), on a numeric scale.
+func physValue(cfg param.Config, name string) float64 {
+	switch name {
+	case "flowEffort":
+		return float64(enumIndex(cfg.EnumOr(name, "standard"), []string{"standard", "high", "extreme"}))
+	case "timing_effort":
+		return float64(enumIndex(cfg.EnumOr(name, "medium"), []string{"medium", "high"}))
+	case "cong_effort":
+		return float64(enumIndex(cfg.EnumOr(name, "AUTO"), []string{"AUTO", "MEDIUM", "HIGH"}))
+	case "clock_power_driven":
+		return b2f(cfg.BoolOr(name, false))
+	case "uniform_density":
+		return b2f(cfg.BoolOr(name, false))
+	case "freq":
+		return cfg.FloatOr(name, 1000)
+	case "place_rcfactor":
+		return cfg.FloatOr(name, 1.10)
+	case "place_uncertainty":
+		return cfg.FloatOr(name, 40)
+	case "max_density":
+		return cfg.FloatOr(name, 0.80)
+	case "max_Length":
+		return cfg.FloatOr(name, 300)
+	case "max_Density":
+		return cfg.FloatOr(name, 0.75)
+	case "max_transition":
+		return cfg.FloatOr(name, 0.25)
+	case "max_capacitance":
+		return cfg.FloatOr(name, 0.10)
+	case "max_fanout":
+		return cfg.FloatOr(name, 32)
+	case "max_AllowedDelay":
+		return cfg.FloatOr(name, 0.05)
+	default:
+		return 0.5
+	}
+}
+
+func enumIndex(v string, levels []string) int {
+	for i, l := range levels {
+		if l == v {
+			return i
+		}
+	}
+	return 0
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// heuristicField evaluates the rugged tool-heuristics response at the
+// configuration, returning one multiplicative deviation per QoR metric
+// (power, delay, area), each in [-heuristicAmp, +heuristicAmp].
+func heuristicField(cfg param.Config) (power, delay, area float64) {
+	// Project the reference-scaled configuration onto nProj directions.
+	var proj [nProj]float64
+	for name, ws := range heuristicCoeffs.w {
+		z := fieldCoord(name, physValue(cfg, name))
+		for j := 0; j < nProj; j++ {
+			proj[j] += ws[j] * z
+		}
+	}
+	var out [3]float64
+	for k := 0; k < 3; k++ {
+		var s float64
+		for j := 0; j < nProj; j++ {
+			s += math.Sin(2*math.Pi*heuristicCoeffs.freq[j]*proj[j]/3 + heuristicCoeffs.phase[k][j])
+		}
+		out[k] = heuristicAmp * s / nProj
+	}
+	return out[0], out[1], out[2]
+}

@@ -1,0 +1,104 @@
+package pdtool
+
+import (
+	"math"
+	"testing"
+
+	"ppatuner/internal/param"
+)
+
+func TestHeuristicFieldBounded(t *testing.T) {
+	s := param.Target1Space()
+	for _, u := range [][]float64{
+		make([]float64, s.Dim()),
+		{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+		{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+	} {
+		p, d, a := heuristicField(s.MustConfig(u))
+		for _, v := range []float64{p, d, a} {
+			if math.Abs(v) > heuristicAmp+1e-12 {
+				t.Errorf("field value %g exceeds amplitude %g", v, heuristicAmp)
+			}
+		}
+	}
+}
+
+func TestHeuristicFieldDeterministic(t *testing.T) {
+	s := param.Source2Space()
+	cfg := s.MustConfig([]float64{0.2, 0.4, 0.6, 0.8, 0.1, 0.3, 0.5, 0.7, 0.9})
+	p1, d1, a1 := heuristicField(cfg)
+	p2, d2, a2 := heuristicField(cfg)
+	if p1 != p2 || d1 != d2 || a1 != a2 {
+		t.Fatal("heuristic field not deterministic")
+	}
+}
+
+// TestHeuristicFieldTaskConsistent: the same *physical* setting must produce
+// the same field value regardless of which benchmark space encodes it — that
+// is the property transfer learning exploits.
+func TestHeuristicFieldTaskConsistent(t *testing.T) {
+	src := param.Source2Space()
+	tgt := param.Target2Space()
+	// max_fanout = 30: u = (30-25)/15 in Source2, (30-25)/14 in Target2.
+	// Build configs that agree on every physical value both spaces share.
+	us := make([]float64, src.Dim())
+	ut := make([]float64, tgt.Dim())
+	type knob struct {
+		name string
+		phys float64
+	}
+	knobs := []knob{
+		{"place_rcfactor", 1.15}, {"max_Length", 300}, {"max_Density", 0.75},
+		{"max_capacitance", 0.10}, {"max_fanout", 30}, {"max_AllowedDelay", 0.09},
+	}
+	for _, k := range knobs {
+		ps := src.Params[src.Index(k.name)]
+		pt := tgt.Params[tgt.Index(k.name)]
+		us[src.Index(k.name)] = (k.phys - ps.Min) / (ps.Max - ps.Min)
+		ut[tgt.Index(k.name)] = (k.phys - pt.Min) / (pt.Max - pt.Min)
+	}
+	// Shared enum/bool knobs at identical levels (coordinates 0).
+	cs := src.MustConfig(us)
+	ct := tgt.MustConfig(ut)
+	p1, d1, a1 := heuristicField(cs)
+	p2, d2, a2 := heuristicField(ct)
+	// Int snapping can shift max_fanout by one step; allow a small slack.
+	const tol = 0.01
+	if math.Abs(p1-p2) > tol || math.Abs(d1-d2) > tol || math.Abs(a1-a2) > tol {
+		t.Errorf("field differs across spaces for identical physical settings: (%g,%g,%g) vs (%g,%g,%g)", p1, d1, a1, p2, d2, a2)
+	}
+}
+
+func TestHeuristicFieldRespondsToParameters(t *testing.T) {
+	s := param.Target1Space()
+	base := s.MustConfig(make([]float64, s.Dim()))
+	p0, d0, a0 := heuristicField(base)
+	moved := make([]float64, s.Dim())
+	moved[s.Index("freq")] = 1
+	moved[s.Index("max_Density")] = 1
+	p1, d1, a1 := heuristicField(s.MustConfig(moved))
+	if p0 == p1 && d0 == d1 && a0 == a1 {
+		t.Error("field is flat across the space")
+	}
+}
+
+func TestToolJitterProperties(t *testing.T) {
+	a1, b1, c1 := toolJitter("design", "key")
+	a2, b2, c2 := toolJitter("design", "key")
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Fatal("jitter not deterministic")
+	}
+	a3, _, _ := toolJitter("design", "other-key")
+	if a1 == a3 {
+		t.Error("jitter insensitive to config key")
+	}
+	a4, _, _ := toolJitter("other-design", "key")
+	if a1 == a4 {
+		t.Error("jitter insensitive to design")
+	}
+	for _, v := range []float64{a1, b1, c1, a3, a4} {
+		if v < -1 || v > 1 {
+			t.Errorf("jitter %g outside [-1, 1]", v)
+		}
+	}
+}

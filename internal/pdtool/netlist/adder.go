@@ -1,0 +1,45 @@
+package netlist
+
+import "ppatuner/internal/pdtool/lib"
+
+// PrefixAdder appends a Kogge–Stone parallel-prefix adder over the equal-
+// width bit vectors xs and ys to the builder, returning the sum bits and the
+// carry-out net. Depth is O(log n) gate levels, which is what lets the MAC
+// designs close timing at the ~1 GHz targets of the paper's freq parameter
+// (a ripple adder would be 3–4× too slow at the benchmark widths).
+func PrefixAdder(b *Builder, xs, ys []int) (sum []int, cout int) {
+	n := len(xs)
+	if len(ys) != n {
+		panic("netlist: PrefixAdder operand width mismatch")
+	}
+	// Bitwise propagate / generate.
+	p := make([]int, n)
+	g := make([]int, n)
+	for i := 0; i < n; i++ {
+		p[i] = b.Add(lib.Xor2, xs[i], ys[i])
+		g[i] = b.Add(lib.And2, xs[i], ys[i])
+	}
+	// Kogge–Stone prefix: after the last level, G[i] is the carry out of
+	// bit i.
+	gPre := append([]int(nil), g...)
+	pPre := append([]int(nil), p...)
+	for dist := 1; dist < n; dist <<= 1 {
+		gNext := append([]int(nil), gPre...)
+		pNext := append([]int(nil), pPre...)
+		for i := dist; i < n; i++ {
+			// G' = G_i OR (P_i AND G_{i-dist})
+			t := b.Add(lib.And2, pPre[i], gPre[i-dist])
+			gNext[i] = b.Add(lib.Or2, gPre[i], t)
+			// P' = P_i AND P_{i-dist}
+			pNext[i] = b.Add(lib.And2, pPre[i], pPre[i-dist])
+		}
+		gPre, pPre = gNext, pNext
+	}
+	// Sum bits: s_i = p_i XOR carry_{i-1}, carry_{i-1} = G[i-1].
+	sum = make([]int, n)
+	sum[0] = p[0]
+	for i := 1; i < n; i++ {
+		sum[i] = b.Add(lib.Xor2, p[i], gPre[i-1])
+	}
+	return sum, gPre[n-1]
+}

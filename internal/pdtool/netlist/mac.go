@@ -1,0 +1,124 @@
+package netlist
+
+import (
+	"fmt"
+
+	"ppatuner/internal/pdtool/lib"
+)
+
+// MAC generates a width×width multiply-accumulate design:
+//
+//	acc <= acc + a*b
+//
+// with registered operand inputs, an AND-array partial-product generator, a
+// Dadda-style carry-save reduction tree, Kogge–Stone carry-propagate adders,
+// and an accumulator register bank. It is the synthetic stand-in for the
+// paper's industrial MAC benchmarks; width 24 gives the "small" (~3.5k cell)
+// design and width 44 the "large" (~9.5k cell) design, preserving the ≈3×
+// size ratio of the paper's 20k/67k-cell blocks.
+func MAC(name string, width int) (*Netlist, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("netlist: MAC width %d < 2", width)
+	}
+	b := NewBuilder(name)
+
+	// Registered operands.
+	aBits := make([]int, width)
+	bBits := make([]int, width)
+	for i := 0; i < width; i++ {
+		aBits[i] = b.Add(lib.DFF, b.PI())
+		bBits[i] = b.Add(lib.DFF, b.PI())
+	}
+	// Shared structural constant-0 net (x AND NOT x).
+	zero := b.Add(lib.And2, aBits[0], b.Add(lib.Inv, aBits[0]))
+
+	// Partial products, bucketed by output column weight.
+	prodW := 2 * width
+	cols := make([][]int, prodW)
+	for i := 0; i < width; i++ {
+		for j := 0; j < width; j++ {
+			pp := b.Add(lib.And2, aBits[i], bBits[j])
+			cols[i+j] = append(cols[i+j], pp)
+		}
+	}
+
+	// Wallace-style carry-save reduction, staged so each round consumes only
+	// bits produced by earlier rounds: every stage compresses each column's
+	// triples with full adders (pairs with half adders), so the tree depth
+	// is O(log width) full-adder levels rather than a ripple chain.
+	for {
+		maxH := 0
+		for _, col := range cols {
+			if len(col) > maxH {
+				maxH = len(col)
+			}
+		}
+		if maxH <= 2 {
+			break
+		}
+		next := make([][]int, prodW)
+		for c := 0; c < prodW; c++ {
+			bits := cols[c]
+			for len(bits) >= 3 {
+				x, y, z := bits[0], bits[1], bits[2]
+				bits = bits[3:]
+				sum := b.Add(lib.FullAdder, x, y, z)
+				carry := b.Add(lib.Aoi22, x, y, z, z) // majority-class gate
+				next[c] = append(next[c], sum)
+				if c+1 < prodW {
+					next[c+1] = append(next[c+1], carry)
+				}
+			}
+			if len(bits) == 2 && len(cols[c]) >= 3 {
+				// Column was tall: keep compressing the leftover pair.
+				sum := b.Add(lib.HalfAdder, bits[0], bits[1])
+				carry := b.Add(lib.And2, bits[0], bits[1])
+				next[c] = append(next[c], sum)
+				if c+1 < prodW {
+					next[c+1] = append(next[c+1], carry)
+				}
+				bits = nil
+			}
+			next[c] = append(next[c], bits...)
+		}
+		cols = next
+	}
+
+	// Final carry-propagate add of the two remaining rows.
+	rowX := make([]int, prodW)
+	rowY := make([]int, prodW)
+	for c := 0; c < prodW; c++ {
+		rowX[c], rowY[c] = zero, zero
+		if len(cols[c]) > 0 {
+			rowX[c] = cols[c][0]
+		}
+		if len(cols[c]) > 1 {
+			rowY[c] = cols[c][1]
+		}
+	}
+	product, _ := PrefixAdder(b, rowX, rowY)
+
+	// Accumulator: acc_next = acc + product, 4 guard bits against overflow.
+	// The registers are created up front (deferred inputs) so the adder can
+	// read their Q nets — a genuine sequential feedback loop.
+	accW := prodW + 4
+	accQ := make([]int, accW)
+	accFF := make([]int, accW)
+	for i := 0; i < accW; i++ {
+		accFF[i], accQ[i] = b.AddDeferred(lib.DFF)
+	}
+	prodPad := make([]int, accW)
+	for i := 0; i < accW; i++ {
+		prodPad[i] = zero
+		if i < prodW {
+			prodPad[i] = product[i]
+		}
+	}
+	accD, _ := PrefixAdder(b, accQ, prodPad)
+	for i := 0; i < accW; i++ {
+		b.Connect(accFF[i], accD[i])
+		b.PO(accQ[i])
+	}
+
+	return b.Build()
+}

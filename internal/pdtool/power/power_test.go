@@ -1,0 +1,140 @@
+package power
+
+import (
+	"testing"
+
+	"ppatuner/internal/pdtool/cts"
+	"ppatuner/internal/pdtool/drv"
+	"ppatuner/internal/pdtool/lib"
+	"ppatuner/internal/pdtool/netlist"
+	"ppatuner/internal/pdtool/place"
+	"ppatuner/internal/pdtool/route"
+)
+
+type rig struct {
+	nl  *netlist.Netlist
+	lib *lib.Library
+	fix *drv.Result
+	rt  *route.Result
+	ct  *cts.Result
+}
+
+func buildRig(t *testing.T) *rig {
+	t.Helper()
+	nl, err := netlist.MAC("m", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := lib.Default7nm()
+	pl, err := place.Place(nl, l, place.Options{TargetUtil: 0.7, MaxBinDensity: 0.85, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := drv.Fix(nl, l, pl, drv.Limits{MaxFanout: 32, MaxCapFF: 100, MaxTransPS: 250, MaxLenUm: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := route.Route(nl, pl, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := cts.Synthesize(l, len(nl.Registers()), pl.CoreW, pl.CoreH, cts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{nl: nl, lib: l, fix: fix, rt: rt, ct: ct}
+}
+
+func TestAnalyzeComponentsPositive(t *testing.T) {
+	r := buildRig(t)
+	b, err := Analyze(r.nl, r.lib, r.fix, r.rt, r.ct, Options{FreqMHz: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SwitchingMW <= 0 || b.InternalMW <= 0 || b.LeakageMW <= 0 || b.ClockMW <= 0 {
+		t.Errorf("zero component: %+v", b)
+	}
+	if b.TotalMW() <= 0 {
+		t.Error("total power not positive")
+	}
+	// Plausible magnitude for a ~1k-cell block at 1 GHz: between 10 µW and
+	// 100 mW.
+	if b.TotalMW() < 0.01 || b.TotalMW() > 100 {
+		t.Errorf("total power %g mW implausible", b.TotalMW())
+	}
+}
+
+func TestPowerScalesWithFrequency(t *testing.T) {
+	r := buildRig(t)
+	lo, err := Analyze(r.nl, r.lib, r.fix, r.rt, r.ct, Options{FreqMHz: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Analyze(r.nl, r.lib, r.fix, r.rt, r.ct, Options{FreqMHz: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hi.TotalMW() > lo.TotalMW()) {
+		t.Error("power not increasing with frequency")
+	}
+	// Leakage must be frequency-independent.
+	if hi.LeakageMW != lo.LeakageMW {
+		t.Errorf("leakage changed with frequency: %g vs %g", hi.LeakageMW, lo.LeakageMW)
+	}
+	// Dynamic components must scale ~linearly (3× here).
+	ratio := hi.SwitchingMW / lo.SwitchingMW
+	if ratio < 2.9 || ratio > 3.1 {
+		t.Errorf("switching power ratio = %g, want ~3", ratio)
+	}
+}
+
+func TestPowerScalesWithActivity(t *testing.T) {
+	r := buildRig(t)
+	lo, err := Analyze(r.nl, r.lib, r.fix, r.rt, r.ct, Options{FreqMHz: 1000, InputActivity: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Analyze(r.nl, r.lib, r.fix, r.rt, r.ct, Options{FreqMHz: 1000, InputActivity: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hi.SwitchingMW > lo.SwitchingMW) {
+		t.Error("switching power not increasing with input activity")
+	}
+}
+
+func TestUpsizedCellsLeakMore(t *testing.T) {
+	r := buildRig(t)
+	base, err := Analyze(r.nl, r.lib, r.fix, r.rt, r.ct, Options{FreqMHz: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range r.nl.Cells {
+		r.nl.Cells[ci].Size = 4
+	}
+	big, err := Analyze(r.nl, r.lib, r.fix, r.rt, r.ct, Options{FreqMHz: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(big.LeakageMW > base.LeakageMW) {
+		t.Error("upsizing did not increase leakage")
+	}
+	if !(big.TotalMW() > base.TotalMW()) {
+		t.Error("upsizing did not increase total power")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	r := buildRig(t)
+	if _, err := Analyze(r.nl, r.lib, r.fix, r.rt, r.ct, Options{FreqMHz: 0}); err == nil {
+		t.Error("zero frequency accepted")
+	}
+}
+
+func TestActivityForCoverage(t *testing.T) {
+	for _, k := range lib.Default7nm().Kinds() {
+		if a := activityFor(k, 0.25); a <= 0 || a > 0.5 {
+			t.Errorf("%v: activity %g out of sane range", k, a)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package pdtool
+
+import (
+	"ppatuner/internal/pdtool/cts"
+	"ppatuner/internal/pdtool/drv"
+	"ppatuner/internal/pdtool/lib"
+	"ppatuner/internal/pdtool/netlist"
+	"ppatuner/internal/pdtool/power"
+	"ppatuner/internal/pdtool/route"
+)
+
+// powerAnalyze wraps the power engine, returning total mW.
+func powerAnalyze(nl *netlist.Netlist, l *lib.Library, fix *drv.Result, rt *route.Result, ct *cts.Result, freqMHz float64) (float64, error) {
+	b, err := power.Analyze(nl, l, fix, rt, ct, power.Options{FreqMHz: freqMHz})
+	if err != nil {
+		return 0, err
+	}
+	return b.TotalMW(), nil
+}

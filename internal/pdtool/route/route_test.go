@@ -1,0 +1,114 @@
+package route
+
+import (
+	"testing"
+
+	"ppatuner/internal/pdtool/lib"
+	"ppatuner/internal/pdtool/netlist"
+	"ppatuner/internal/pdtool/place"
+)
+
+func placed(t *testing.T, util float64) (*netlist.Netlist, *place.Result) {
+	t.Helper()
+	nl, err := netlist.MAC("m", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := lib.Default7nm()
+	pl, err := place.Place(nl, l, place.Options{TargetUtil: util, MaxBinDensity: 0.95, Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, pl
+}
+
+func TestRouteBasics(t *testing.T) {
+	nl, pl := placed(t, 0.7)
+	res, err := Route(nl, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detour) != len(nl.Nets) {
+		t.Fatalf("detour count %d, nets %d", len(res.Detour), len(nl.Nets))
+	}
+	for id, d := range res.Detour {
+		if d < 1 {
+			t.Fatalf("net %d detour %g < 1", id, d)
+		}
+	}
+	if res.TotalWirelenUm < pl.HPWL {
+		t.Errorf("routed wirelength %g < HPWL %g", res.TotalWirelenUm, pl.HPWL)
+	}
+	if res.MaxCongestion <= 0 || res.AvgCongestion <= 0 {
+		t.Error("congestion statistics missing")
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	nl, pl := placed(t, 0.7)
+	a, err := Route(nl, pl, Options{Effort: EffortHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Route(nl, pl, Options{Effort: EffortHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalWirelenUm != b.TotalWirelenUm || a.MaxCongestion != b.MaxCongestion {
+		t.Error("routing not deterministic")
+	}
+}
+
+func TestRouteDensityDrivesCongestion(t *testing.T) {
+	nlD, plD := placed(t, 0.95)
+	nlS, plS := placed(t, 0.45)
+	dense, err := Route(nlD, plD, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := Route(nlS, plS, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dense.MaxCongestion > sparse.MaxCongestion) {
+		t.Errorf("dense max congestion %g !> sparse %g", dense.MaxCongestion, sparse.MaxCongestion)
+	}
+}
+
+func TestRouteEffortReducesOverflow(t *testing.T) {
+	nl, pl := placed(t, 0.95)
+	// Shrink capacity via a coarse track pitch to force overflow.
+	low, err := Route(nl, pl, Options{Effort: EffortAuto, TrackPitchUm: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Route(nl, pl, Options{Effort: EffortHigh, TrackPitchUm: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.OverflowUm == 0 {
+		t.Skip("no overflow generated; cannot compare efforts")
+	}
+	if !(high.OverflowUm <= low.OverflowUm) {
+		t.Errorf("high effort overflow %g > auto %g", high.OverflowUm, low.OverflowUm)
+	}
+}
+
+func TestParseEffort(t *testing.T) {
+	for s, want := range map[string]Effort{"AUTO": EffortAuto, "MEDIUM": EffortMedium, "HIGH": EffortHigh} {
+		got, err := ParseEffort(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEffort(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseEffort("TURBO"); err == nil {
+		t.Error("unknown effort accepted")
+	}
+}
+
+func TestRouteNoBinGrid(t *testing.T) {
+	nl, _ := placed(t, 0.7)
+	if _, err := Route(nl, &place.Result{}, Options{}); err == nil {
+		t.Error("placement without bin grid accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Package sample provides the deterministic sampling schemes used to build
+// the offline benchmarks and to seed the tuners: Latin-hypercube sampling
+// over a parameter space (the scheme the paper uses to pick the benchmark
+// configuration points), plain uniform sampling, and index subsampling.
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ppatuner/internal/param"
+)
+
+// LatinHypercube returns n points in [0,1]^d such that each dimension's
+// marginal is stratified into n equal bins with exactly one point per bin.
+func LatinHypercube(rng *rand.Rand, n, d int) [][]float64 {
+	if n <= 0 || d <= 0 {
+		panic(fmt.Sprintf("sample: LatinHypercube(n=%d, d=%d)", n, d))
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+	}
+	perm := make([]int, n)
+	for j := 0; j < d; j++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		for i := 0; i < n; i++ {
+			// Jittered position inside stratum perm[i].
+			pts[i][j] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return pts
+}
+
+// LHSConfigs draws n Latin-hypercube configurations from the space,
+// deduplicating configurations that collide after discrete snapping. It may
+// return fewer than n points when the space is too coarse to hold n distinct
+// configurations (it retries with fresh jitter a bounded number of times).
+func LHSConfigs(rng *rand.Rand, s *param.Space, n int) []param.Config {
+	out := make([]param.Config, 0, n)
+	seen := make(map[string]bool, n)
+	for attempt := 0; attempt < 8 && len(out) < n; attempt++ {
+		for _, u := range LatinHypercube(rng, n-len(out), s.Dim()) {
+			c := s.MustConfig(u)
+			if k := c.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// UniformConfigs draws n independent uniform configurations (with the same
+// dedup behaviour as LHSConfigs).
+func UniformConfigs(rng *rand.Rand, s *param.Space, n int) []param.Config {
+	out := make([]param.Config, 0, n)
+	seen := make(map[string]bool, n)
+	u := make([]float64, s.Dim())
+	for tries := 0; len(out) < n && tries < 20*n+100; tries++ {
+		for j := range u {
+			u[j] = rng.Float64()
+		}
+		c := s.MustConfig(u)
+		if k := c.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Indices returns k distinct indices drawn uniformly from [0, n).
+func Indices(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}

@@ -1,0 +1,142 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppatuner/internal/param"
+)
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, d := 50, 4
+	pts := LatinHypercube(rng, n, d)
+	if len(pts) != n {
+		t.Fatalf("got %d points, want %d", len(pts), n)
+	}
+	for j := 0; j < d; j++ {
+		occupied := make([]bool, n)
+		for i := 0; i < n; i++ {
+			x := pts[i][j]
+			if x < 0 || x >= 1 {
+				t.Fatalf("point[%d][%d] = %g out of [0,1)", i, j, x)
+			}
+			bin := int(x * float64(n))
+			if occupied[bin] {
+				t.Fatalf("dimension %d: bin %d occupied twice", j, bin)
+			}
+			occupied[bin] = true
+		}
+	}
+}
+
+func TestLatinHypercubeBadArgsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	LatinHypercube(rand.New(rand.NewSource(1)), 0, 3)
+}
+
+func TestLatinHypercubeDeterministic(t *testing.T) {
+	a := LatinHypercube(rand.New(rand.NewSource(9)), 20, 3)
+	b := LatinHypercube(rand.New(rand.NewSource(9)), 20, 3)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed produced different samples")
+			}
+		}
+	}
+}
+
+// Property: every LHS dimension covers both halves of [0,1] once n >= 2.
+func TestQuickLHSCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		d := 1 + rng.Intn(6)
+		pts := LatinHypercube(rng, n, d)
+		for j := 0; j < d; j++ {
+			lo, hi := false, false
+			for i := 0; i < n; i++ {
+				if pts[i][j] < 0.5 {
+					lo = true
+				} else {
+					hi = true
+				}
+			}
+			if !lo || !hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLHSConfigsDistinct(t *testing.T) {
+	s := param.Target2Space()
+	rng := rand.New(rand.NewSource(2))
+	cfgs := LHSConfigs(rng, s, 300)
+	if len(cfgs) != 300 {
+		t.Fatalf("got %d configs, want 300", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if seen[c.Key()] {
+			t.Fatal("duplicate configuration returned")
+		}
+		seen[c.Key()] = true
+	}
+}
+
+func TestLHSConfigsCoarseSpace(t *testing.T) {
+	// A 1-bool space holds only 2 distinct configs; asking for 10 must not
+	// loop forever and must return the 2.
+	s := param.MustSpace("tiny", []param.Param{{Name: "b", Kind: param.Bool}})
+	cfgs := LHSConfigs(rand.New(rand.NewSource(3)), s, 10)
+	if len(cfgs) != 2 {
+		t.Fatalf("got %d configs from a 2-point space, want 2", len(cfgs))
+	}
+}
+
+func TestUniformConfigsDistinct(t *testing.T) {
+	s := param.Source2Space()
+	cfgs := UniformConfigs(rand.New(rand.NewSource(4)), s, 100)
+	if len(cfgs) != 100 {
+		t.Fatalf("got %d configs, want 100", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if seen[c.Key()] {
+			t.Fatal("duplicate configuration returned")
+		}
+		seen[c.Key()] = true
+	}
+}
+
+func TestIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	idx := Indices(rng, 10, 4)
+	if len(idx) != 4 {
+		t.Fatalf("got %d indices, want 4", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= 10 {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatal("duplicate index")
+		}
+		seen[i] = true
+	}
+	if got := Indices(rng, 3, 7); len(got) != 3 {
+		t.Fatalf("k>n: got %d indices, want 3", len(got))
+	}
+}

@@ -1,0 +1,261 @@
+// Package tree implements CART regression trees and least-squares gradient
+// boosting with feature-importance extraction — the model family behind the
+// ASPDAC'20 FIST baseline ("feature-importance sampling and tree-based
+// method for automatic design flow parameter tuning").
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Node is one node of a regression tree.
+type Node struct {
+	// Leaf prediction.
+	Value float64
+	// Split: feature index and threshold; Left covers x[Feature] <= Threshold.
+	Feature   int
+	Threshold float64
+	Left      *Node
+	Right     *Node
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// Tree is a fitted regression tree with importance bookkeeping.
+type Tree struct {
+	Root *Node
+	// Importance[f] is the total squared-error reduction from splits on
+	// feature f.
+	Importance []float64
+}
+
+// TreeOptions bounds tree growth.
+type TreeOptions struct {
+	MaxDepth    int // default 4
+	MinSamples  int // minimum samples to attempt a split (default 4)
+	MinGain     float64
+	NumFeatures int // required: dimensionality of x
+}
+
+func (o *TreeOptions) setDefaults() {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 4
+	}
+	if o.MinSamples <= 1 {
+		o.MinSamples = 4
+	}
+}
+
+// FitTree grows a CART regression tree on (x, y).
+func FitTree(x [][]float64, y []float64, opt TreeOptions) (*Tree, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("tree: %d inputs, %d outputs", len(x), len(y))
+	}
+	if opt.NumFeatures <= 0 {
+		opt.NumFeatures = len(x[0])
+	}
+	opt.setDefaults()
+	t := &Tree{Importance: make([]float64, opt.NumFeatures)}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.Root = t.grow(x, y, idx, opt, 0)
+	return t, nil
+}
+
+func mean(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sse(y []float64, idx []int) float64 {
+	m := mean(y, idx)
+	var s float64
+	for _, i := range idx {
+		d := y[i] - m
+		s += d * d
+	}
+	return s
+}
+
+func (t *Tree) grow(x [][]float64, y []float64, idx []int, opt TreeOptions, depth int) *Node {
+	node := &Node{Value: mean(y, idx), Feature: -1}
+	if depth >= opt.MaxDepth || len(idx) < opt.MinSamples {
+		return node
+	}
+	parentSSE := sse(y, idx)
+	if parentSSE <= 1e-12 {
+		return node
+	}
+	bestGain := opt.MinGain
+	bestF, bestThr := -1, 0.0
+	order := make([]int, len(idx))
+	for f := 0; f < opt.NumFeatures; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		// Prefix sums over the sorted order for O(n) split evaluation.
+		var sumL, sumSqL float64
+		var sumR, sumSqR float64
+		for _, i := range order {
+			sumR += y[i]
+			sumSqR += y[i] * y[i]
+		}
+		nL := 0
+		nR := len(order)
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			sumL += y[i]
+			sumSqL += y[i] * y[i]
+			sumR -= y[i]
+			sumSqR -= y[i] * y[i]
+			nL++
+			nR--
+			if x[order[k]][f] == x[order[k+1]][f] {
+				continue // no valid threshold between equal values
+			}
+			sseL := sumSqL - sumL*sumL/float64(nL)
+			sseR := sumSqR - sumR*sumR/float64(nR)
+			gain := parentSSE - sseL - sseR
+			if gain > bestGain {
+				bestGain = gain
+				bestF = f
+				bestThr = (x[order[k]][f] + x[order[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestF < 0 {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][bestF] <= bestThr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return node
+	}
+	t.Importance[bestF] += bestGain
+	node.Feature = bestF
+	node.Threshold = bestThr
+	node.Left = t.grow(x, y, left, opt, depth+1)
+	node.Right = t.grow(x, y, right, opt, depth+1)
+	return node
+}
+
+// Predict evaluates the tree at x.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.Root
+	for !n.IsLeaf() {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Value
+}
+
+// Boost is a least-squares gradient-boosted ensemble.
+type Boost struct {
+	base  float64
+	trees []*Tree
+	rate  float64
+	dim   int
+}
+
+// BoostOptions configures gradient boosting.
+type BoostOptions struct {
+	Rounds       int     // number of trees (default 60)
+	LearningRate float64 // shrinkage (default 0.1)
+	Tree         TreeOptions
+}
+
+func (o *BoostOptions) setDefaults() {
+	if o.Rounds <= 0 {
+		o.Rounds = 60
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.1
+	}
+}
+
+// FitBoost trains the ensemble on (x, y).
+func FitBoost(x [][]float64, y []float64, opt BoostOptions) (*Boost, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("tree: boost: %d inputs, %d outputs", len(x), len(y))
+	}
+	opt.setDefaults()
+	opt.Tree.NumFeatures = len(x[0])
+	b := &Boost{rate: opt.LearningRate, dim: len(x[0])}
+	var base float64
+	for _, v := range y {
+		base += v
+	}
+	b.base = base / float64(len(y))
+	resid := make([]float64, len(y))
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = b.base
+	}
+	for r := 0; r < opt.Rounds; r++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		tr, err := FitTree(x, resid, opt.Tree)
+		if err != nil {
+			return nil, err
+		}
+		b.trees = append(b.trees, tr)
+		improved := false
+		for i := range pred {
+			d := b.rate * tr.Predict(x[i])
+			pred[i] += d
+			if math.Abs(d) > 1e-12 {
+				improved = true
+			}
+		}
+		if !improved {
+			break // residuals exhausted
+		}
+	}
+	return b, nil
+}
+
+// Predict evaluates the ensemble at x.
+func (b *Boost) Predict(x []float64) float64 {
+	out := b.base
+	for _, tr := range b.trees {
+		out += b.rate * tr.Predict(x)
+	}
+	return out
+}
+
+// Importance aggregates normalised feature importances over the ensemble.
+func (b *Boost) Importance() []float64 {
+	imp := make([]float64, b.dim)
+	for _, tr := range b.trees {
+		for f, v := range tr.Importance {
+			imp[f] += v
+		}
+	}
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for f := range imp {
+			imp[f] /= total
+		}
+	}
+	return imp
+}

@@ -1,0 +1,197 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeFitsStepFunction(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 100
+		x = append(x, []float64{v})
+		if v < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 3)
+		}
+	}
+	tr, err := FitTree(x, y, TreeOptions{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tr.Predict([]float64{0.2}); math.Abs(p-1) > 1e-9 {
+		t.Errorf("Predict(0.2) = %g, want 1", p)
+	}
+	if p := tr.Predict([]float64{0.9}); math.Abs(p-3) > 1e-9 {
+		t.Errorf("Predict(0.9) = %g, want 3", p)
+	}
+	if tr.Importance[0] <= 0 {
+		t.Error("split feature got no importance")
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64()})
+		y = append(y, rng.NormFloat64())
+	}
+	tr, err := FitTree(x, y, TreeOptions{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var depth func(n *Node) int
+	depth = func(n *Node) int {
+		if n.IsLeaf() {
+			return 0
+		}
+		l, r := depth(n.Left), depth(n.Right)
+		if r > l {
+			l = r
+		}
+		return 1 + l
+	}
+	if d := depth(tr.Root); d > 3 {
+		t.Errorf("tree depth %d > 3", d)
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{5, 5, 5, 5}
+	tr, err := FitTree(x, y, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() {
+		t.Error("constant target grew splits")
+	}
+	if p := tr.Predict([]float64{9}); p != 5 {
+		t.Errorf("Predict = %g, want 5", p)
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	if _, err := FitTree(nil, nil, TreeOptions{}); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := FitTree([][]float64{{1}}, []float64{1, 2}, TreeOptions{}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestBoostFitsSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(x []float64) float64 { return math.Sin(4*x[0]) + x[1]*x[1] }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, f(x))
+	}
+	b, err := FitBoost(xs, ys, BoostOptions{Rounds: 120, LearningRate: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		d := b.Predict(x) - f(x)
+		mse += d * d
+	}
+	mse /= 100
+	if mse > 0.02 {
+		t.Errorf("boost test MSE = %g, want < 0.02", mse)
+	}
+}
+
+func TestBoostImportanceFindsRelevantFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// y depends only on feature 1 out of 4.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 250; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 3*x[1]+0.01*rng.NormFloat64())
+	}
+	b, err := FitBoost(xs, ys, BoostOptions{Rounds: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := b.Importance()
+	if len(imp) != 4 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	for f, v := range imp {
+		if f == 1 {
+			if v < 0.8 {
+				t.Errorf("relevant feature importance %g, want > 0.8", v)
+			}
+		} else if v > 0.1 {
+			t.Errorf("irrelevant feature %d importance %g", f, v)
+		}
+	}
+	// Importances are normalised.
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance sum = %g, want 1", sum)
+	}
+}
+
+func TestBoostConstantTarget(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}}
+	y := []float64{2, 2, 2}
+	b, err := FitBoost(x, y, BoostOptions{Rounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := b.Predict([]float64{5}); math.Abs(p-2) > 1e-9 {
+		t.Errorf("Predict = %g, want 2", p)
+	}
+}
+
+// Property: tree predictions at training points never have worse SSE than
+// the constant (mean) model.
+func TestQuickTreeBeatsMean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < n; i++ {
+			xs = append(xs, []float64{rng.Float64(), rng.Float64()})
+			ys = append(ys, rng.NormFloat64())
+		}
+		tr, err := FitTree(xs, ys, TreeOptions{MaxDepth: 5})
+		if err != nil {
+			return false
+		}
+		var m float64
+		for _, v := range ys {
+			m += v
+		}
+		m /= float64(n)
+		var sseTree, sseMean float64
+		for i := range xs {
+			d := tr.Predict(xs[i]) - ys[i]
+			sseTree += d * d
+			e := m - ys[i]
+			sseMean += e * e
+		}
+		return sseTree <= sseMean+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package-level tests exercising the public facade end to end: a user
+// driving the library exactly as the README shows.
+package ppatuner_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppatuner"
+)
+
+func TestFacadeSpacesAndFlow(t *testing.T) {
+	space := ppatuner.Target1Space()
+	if space.Dim() != 12 {
+		t.Fatalf("Target1 space dim = %d, want 12", space.Dim())
+	}
+	u := make([]float64, space.Dim())
+	for i := range u {
+		u[i] = 0.5
+	}
+	cfg := space.MustConfig(u)
+	q, rep, err := ppatuner.RunFlow(ppatuner.SmallMAC(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PowerMW <= 0 || q.DelayNS <= 0 || q.AreaUm2 <= 0 {
+		t.Fatalf("degenerate QoR %+v", q)
+	}
+	if rep.Timing == nil {
+		t.Fatal("missing timing report")
+	}
+	v := q.Vector([]ppatuner.Metric{ppatuner.Delay, ppatuner.Power})
+	if v[0] != q.DelayNS || v[1] != q.PowerMW {
+		t.Error("Vector projection wrong")
+	}
+}
+
+func TestFacadeCustomSpaceAndTuner(t *testing.T) {
+	space, err := ppatuner.NewSpace("toy", []ppatuner.Param{
+		{Name: "x", Kind: ppatuner.Float, Min: 0, Max: 1},
+		{Name: "y", Kind: ppatuner.Float, Min: 0, Max: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pool := make([][]float64, 60)
+	for i := range pool {
+		pool[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	_ = space
+	evaluate := func(i int) ([]float64, error) {
+		return []float64{pool[i][0], 1 - pool[i][0] + pool[i][1]}, nil
+	}
+	tn, err := ppatuner.NewTuner(pool, evaluate, ppatuner.TunerOptions{
+		NumObjectives: 2, InitTarget: 8, MaxIter: 30, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ParetoIdx) == 0 || res.Runs == 0 {
+		t.Fatalf("facade tuner returned nothing: %+v", res)
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	golden := [][]float64{{1, 3}, {2, 2}, {3, 1}}
+	if !ppatuner.Dominates([]float64{1, 1}, []float64{2, 2}) {
+		t.Error("Dominates wrong")
+	}
+	front := ppatuner.ParetoFront([][]float64{{1, 1}, {2, 2}})
+	if len(front) != 1 {
+		t.Errorf("ParetoFront size %d", len(front))
+	}
+	ref := ppatuner.ReferencePoint(golden, 0.1)
+	if hv := ppatuner.Hypervolume(golden, ref); hv <= 0 {
+		t.Errorf("Hypervolume = %g", hv)
+	}
+	if e := ppatuner.HVError(golden, golden, ref); e != 0 {
+		t.Errorf("HVError(g,g) = %g", e)
+	}
+	if a := ppatuner.ADRS(golden, golden); a != 0 {
+		t.Errorf("ADRS(g,g) = %g", a)
+	}
+	if rho := ppatuner.TransferFactor(0, 1); rho != 1 {
+		t.Errorf("TransferFactor(0,1) = %g", rho)
+	}
+}
+
+func TestFacadeDatasetGeneration(t *testing.T) {
+	ds, err := ppatuner.GenerateDataset("facade-test", ppatuner.Source2Space(), ppatuner.SmallMAC(),
+		ppatuner.GenOptions{Points: 25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 25 {
+		t.Fatalf("dataset N = %d", ds.N())
+	}
+	front := ds.GoldenFront([]ppatuner.Metric{ppatuner.Power, ppatuner.Delay})
+	if len(front) == 0 {
+		t.Fatal("empty golden front")
+	}
+}
+
+func TestFacadeHarnessTypes(t *testing.T) {
+	if len(ppatuner.ObjSpaces()) != 3 {
+		t.Error("objective spaces wrong")
+	}
+	if len(ppatuner.Methods()) != 5 {
+		t.Error("methods wrong")
+	}
+}
