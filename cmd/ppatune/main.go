@@ -6,6 +6,16 @@
 //
 //	ppatune [-scenario 1|2] [-space area-delay|power-delay|area-power-delay]
 //	        [-method PPATuner|TCAD'19|MLCAD'19|DAC'19|ASPDAC'20] [-seed N]
+//	        [-timeout D] [-retries N] [-policy retry|skip|abort]
+//	        [-checkpoint FILE] [-chaos RATE]
+//
+// The fault-tolerance flags harden the evaluation path: -timeout bounds each
+// tool evaluation, -retries bounds re-attempts with exponential backoff,
+// -policy picks what an exhausted candidate does to the run, -checkpoint
+// persists every observation to FILE so a killed run resumes without
+// re-running the tool, and -chaos injects transient faults at the given rate
+// (plus occasional hangs/crashes/corrupt QoR at a tenth of it) to rehearse
+// all of the above.
 package main
 
 import (
@@ -13,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ppatuner"
 	"ppatuner/internal/eval"
@@ -23,24 +34,20 @@ func main() {
 	spaceName := flag.String("space", "power-delay", "objective space: area-delay | power-delay | area-power-delay")
 	method := flag.String("method", "PPATuner", "tuner: PPATuner | TCAD'19 | MLCAD'19 | DAC'19 | ASPDAC'20")
 	seed := flag.Int64("seed", 1, "random seed")
+	timeout := flag.Duration("timeout", 0, "per-evaluation deadline (0 disables)")
+	retries := flag.Int("retries", 2, "retry budget per evaluation")
+	policyName := flag.String("policy", "skip", "failure policy after retries: retry | skip | abort")
+	ckptPath := flag.String("checkpoint", "", "JSON checkpoint file: observations are persisted there and resumed from it")
+	chaosRate := flag.Float64("chaos", 0, "injected transient-fault rate in [0,1) (hangs/panics/corrupt QoR injected at rate/10 each)")
 	flag.Parse()
 
-	var s *ppatuner.Scenario
-	var err error
-	switch *scenario {
-	case 1:
-		s, err = ppatuner.ScenarioOne()
-	case 2:
-		s, err = ppatuner.ScenarioTwo()
-	default:
+	// Validate every flag before the scenario build: generating the offline
+	// datasets takes ~30s (scenario 2) to minutes (scenario 1), and a typo
+	// should not cost that.
+	if *scenario != 1 && *scenario != 2 {
 		fmt.Fprintln(os.Stderr, "ppatune: -scenario must be 1 or 2")
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
-		os.Exit(1)
-	}
-
 	var space ppatuner.ObjSpace
 	found := false
 	for _, sp := range ppatuner.ObjSpaces() {
@@ -53,10 +60,82 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ppatune: unknown objective space %q\n", *spaceName)
 		os.Exit(2)
 	}
+	policy, err := ppatuner.ParseFailurePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
+		os.Exit(2)
+	}
+	var inj *ppatuner.ChaosInjector
+	if *chaosRate > 0 {
+		inj, err = ppatuner.NewChaos(ppatuner.ChaosOptions{
+			Seed: *seed,
+			Rates: ppatuner.ChaosRates{
+				Transient: *chaosRate,
+				Hang:      *chaosRate / 10,
+				Panic:     *chaosRate / 10,
+				Corrupt:   *chaosRate / 10,
+			},
+			HangFor: 2 * *timeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	var ckpt *ppatuner.EvalCheckpoint
+	if *ckptPath != "" {
+		ckpt, err = ppatuner.LoadCheckpoint(*ckptPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
+			os.Exit(1)
+		}
+		if n := ckpt.Len(); n > 0 {
+			fmt.Printf("checkpoint: resuming with %d cached observations from %s\n", n, *ckptPath)
+		}
+	}
+
+	var s *ppatuner.Scenario
+	switch *scenario {
+	case 1:
+		s, err = ppatuner.ScenarioOne()
+	case 2:
+		s, err = ppatuner.ScenarioTwo()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Fault-tolerance middleware around the pool evaluator, innermost first:
+	// chaos injection (optional rehearsal) -> checkpoint write-through ->
+	// resilient retry/deadline/validation layer.
+	flog := &ppatuner.FailureLog{}
+	wrap := func(ev ppatuner.Evaluator) ppatuner.Evaluator {
+		if inj != nil {
+			ev = inj.Wrap(ev)
+		}
+		if ckpt != nil {
+			ev = ckpt.Wrap(ev)
+		}
+		re, err := ppatuner.WrapEvaluator(nil, ev, ppatuner.ResilientOptions{
+			Timeout:    *timeout,
+			MaxRetries: *retries,
+			Policy:     policy,
+			Seed:       *seed,
+			Log:        flog,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
+			os.Exit(2)
+		}
+		return re.Evaluate
+	}
 
 	m := eval.Method(*method)
 	fmt.Printf("%s | %s | %s (seed %d)\n", s.Name, space.Name, m, *seed)
-	out, err := eval.RunMethod(m, s, space, *seed)
+	start := time.Now()
+	out, err := eval.RunMethodOpts(m, s, space, *seed, eval.RunOpts{Wrap: wrap})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
 		os.Exit(1)
@@ -65,6 +144,12 @@ func main() {
 	fmt.Printf("hyper-volume error: %.4f\n", hv)
 	fmt.Printf("ADRS:               %.4f\n", adrs)
 	fmt.Printf("tool runs:          %d\n", out.Runs)
+	fmt.Printf("wall time:          %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("failures:           %s\n", flog.Summary())
+	if ckpt != nil {
+		hits, misses := ckpt.Stats()
+		fmt.Printf("checkpoint:         %d replayed, %d fresh (now %d cached in %s)\n", hits, misses, ckpt.Len(), *ckptPath)
+	}
 	fmt.Printf("predicted Pareto-optimal configurations: %d\n", len(out.ParetoIdx))
 	for _, i := range out.ParetoIdx {
 		p := s.Target.Points[i]

@@ -1,4 +1,4 @@
-// Customtool: wire your own EDA tool into PPATuner.
+// Customtool: wire your own EDA tool into PPATuner — with fault tolerance.
 //
 // PPATuner only needs two things from you: a parameter Space describing your
 // tool's knobs, and an Evaluator that invokes the tool for a configuration
@@ -6,13 +6,24 @@
 // synthesis-like tool with an analytic QoR model standing in for the real
 // binary — replace `runMyTool` with a call into your flow scripts and
 // everything else stays the same.
+//
+// Real tools fail: licences drop, runs hang, wrappers crash. The example
+// therefore models a *flaky* tool (a transient failure every few calls and
+// the odd hang) and hardens it with ppatuner.WrapEvaluator: a per-run
+// context, a per-evaluation deadline, bounded retries with backoff, and a
+// skip policy so a configuration the tool simply cannot complete is
+// surrendered (marked Failed in the result) instead of killing the run.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"ppatuner"
 	"ppatuner/internal/sample"
@@ -20,7 +31,8 @@ import (
 
 // runMyTool pretends to be your tool: it maps a configuration to
 // (runtime-weighted energy, slack-derived delay). Swap this out for an
-// exec.Command into your own flow.
+// exec.CommandContext into your own flow — pass ctx along so a deadline
+// kills the tool process.
 func runMyTool(cfg ppatuner.Config) (energy, delay float64) {
 	effort := 0.0
 	if cfg.Enum("effort") == "high" {
@@ -55,12 +67,43 @@ func main() {
 		pool[i] = c.Unit()
 	}
 
-	evaluate := func(i int) ([]float64, error) {
+	// The raw tool invocation: flaky on purpose. Every 7th call drops its
+	// licence (transient — a retry succeeds), and every 23rd call hangs past
+	// the deadline before failing.
+	var calls atomic.Int64
+	tool := func(ctx context.Context, i int) ([]float64, error) {
+		n := calls.Add(1)
+		switch {
+		case n%23 == 0:
+			select { // a hang: the per-evaluation deadline cuts it short
+			case <-time.After(10 * time.Second):
+			case <-ctx.Done():
+			}
+			return nil, errors.New("tool run stalled")
+		case n%7 == 0:
+			return nil, errors.New("licence checkout failed")
+		}
 		e, d := runMyTool(cfgs[i])
 		return []float64{e, d}, nil
 	}
 
-	tn, err := ppatuner.NewTuner(pool, evaluate, ppatuner.TunerOptions{
+	// Harden it: deadline + 3 retries with backoff + skip policy + log.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	flog := &ppatuner.FailureLog{}
+	re, err := ppatuner.NewResilientEvaluator(ctx, tool, ppatuner.ResilientOptions{
+		Timeout:       200 * time.Millisecond,
+		MaxRetries:    3,
+		Backoff:       10 * time.Millisecond,
+		Policy:        ppatuner.PolicySkip,
+		NumObjectives: 2,
+		Log:           flog,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tn, err := ppatuner.NewTuner(pool, re.Evaluate, ppatuner.TunerOptions{
 		NumObjectives: 2,
 		InitTarget:    10,
 		MaxIter:       50,
@@ -69,13 +112,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := tn.Run()
+	res, err := tn.RunContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("evaluated %d of %d configurations; %d Pareto-optimal settings:\n\n",
-		res.Runs, len(pool), len(res.ParetoIdx))
+	fmt.Printf("evaluated %d of %d configurations (%d skipped as failed); %d Pareto-optimal settings\n",
+		res.Runs, len(pool), len(res.FailedIdx), len(res.ParetoIdx))
+	fmt.Printf("tool failures seen: %s\n\n", flog.Summary())
 	fmt.Println("energy     delay      configuration")
 	for _, i := range res.ParetoIdx {
 		e, d := runMyTool(cfgs[i])

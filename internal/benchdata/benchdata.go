@@ -149,27 +149,43 @@ func cached(name string, build func() (*Dataset, error)) (*Dataset, error) {
 // Source1 returns the 5000-point source benchmark of Scenario One.
 func Source1() (*Dataset, error) {
 	return cached("Source1", func() (*Dataset, error) {
-		return Generate("Source1", param.Source1Space(), pdtool.SmallMAC(), GenOptions{Points: 5000, Seed: 101})
+		d, err := pdtool.NewSmallMAC()
+		if err != nil {
+			return nil, err
+		}
+		return Generate("Source1", param.Source1Space(), d, GenOptions{Points: 5000, Seed: 101})
 	})
 }
 
 // Target1 returns the 5000-point target benchmark of Scenario One.
 func Target1() (*Dataset, error) {
 	return cached("Target1", func() (*Dataset, error) {
-		return Generate("Target1", param.Target1Space(), pdtool.SmallMAC(), GenOptions{Points: 5000, Seed: 102})
+		d, err := pdtool.NewSmallMAC()
+		if err != nil {
+			return nil, err
+		}
+		return Generate("Target1", param.Target1Space(), d, GenOptions{Points: 5000, Seed: 102})
 	})
 }
 
 // Source2 returns the 1440-point source benchmark of Scenario Two.
 func Source2() (*Dataset, error) {
 	return cached("Source2", func() (*Dataset, error) {
-		return Generate("Source2", param.Source2Space(), pdtool.SmallMAC(), GenOptions{Points: 1440, Seed: 103})
+		d, err := pdtool.NewSmallMAC()
+		if err != nil {
+			return nil, err
+		}
+		return Generate("Source2", param.Source2Space(), d, GenOptions{Points: 1440, Seed: 103})
 	})
 }
 
 // Target2 returns the 727-point target benchmark of Scenario Two (large MAC).
 func Target2() (*Dataset, error) {
 	return cached("Target2", func() (*Dataset, error) {
-		return Generate("Target2", param.Target2Space(), pdtool.LargeMAC(), GenOptions{Points: 727, Seed: 104})
+		d, err := pdtool.NewLargeMAC()
+		if err != nil {
+			return nil, err
+		}
+		return Generate("Target2", param.Target2Space(), d, GenOptions{Points: 727, Seed: 104})
 	})
 }

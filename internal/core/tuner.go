@@ -20,11 +20,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"ppatuner/internal/gp"
 )
@@ -32,6 +34,14 @@ import (
 // Evaluator returns the golden QoR objective vector of pool candidate i.
 // It is the abstraction of "send the configuration to the PD tool".
 type Evaluator func(i int) ([]float64, error)
+
+// ErrSkipCandidate signals that evaluating a candidate failed terminally but
+// the run should survive: the tuner marks the candidate Failed and continues
+// the PAL loop instead of aborting. Fault-tolerant evaluator wrappers (see
+// internal/robust) wrap their give-up errors with this sentinel; a raw
+// evaluator can also return it directly for configurations it knows the tool
+// cannot complete.
+var ErrSkipCandidate = errors.New("core: skip candidate")
 
 // Status classifies a pool candidate during the run.
 type Status int8
@@ -43,7 +53,15 @@ const (
 	Dropped
 	// Pareto candidates are classified δ-accurate Pareto-optimal (Eq. 12).
 	Pareto
+	// Failed candidates could not be evaluated (terminal tool failure under a
+	// skip policy); they are out of the race like Dropped, but for operational
+	// rather than algorithmic reasons.
+	Failed
 )
+
+// alive reports whether a candidate is still in the race: Failed candidates
+// are excluded like Dropped ones.
+func (s Status) alive() bool { return s != Dropped && s != Failed }
 
 // Options configures PPATuner.
 type Options struct {
@@ -85,6 +103,11 @@ type Options struct {
 	// diameter over all alive candidates — instead of restricting selection
 	// to the optimistic Pareto frontier. The TCAD'19 baseline uses this.
 	GlobalSelection bool
+	// Workers bounds concurrent tool invocations within one selection batch
+	// (Sec. 3.3: one worker per tool licence). Default: Batch. Only the
+	// evaluator calls run concurrently; surrogate updates stay sequential in
+	// selection order, so results are independent of scheduling.
+	Workers int
 	// Rng drives the initial design (required).
 	Rng *rand.Rand
 }
@@ -111,6 +134,9 @@ func (o *Options) setDefaults() {
 	if o.InitTarget <= 0 {
 		o.InitTarget = 10
 	}
+	if o.Workers <= 0 || o.Workers > o.Batch {
+		o.Workers = o.Batch
+	}
 }
 
 // Result is the tuner outcome.
@@ -119,6 +145,10 @@ type Result struct {
 	ParetoIdx []int
 	// EvaluatedIdx are the pool indices evaluated by the tool, in order.
 	EvaluatedIdx []int
+	// FailedIdx are the pool indices whose evaluation failed terminally under
+	// a skip policy (ErrSkipCandidate), in failure order. The run survived
+	// without their QoR.
+	FailedIdx []int
 	// Runs is the number of tool evaluations, including initialisation.
 	Runs int
 	// Iters is the number of tuning iterations executed.
@@ -147,6 +177,7 @@ type Tuner struct {
 	delta []float64
 
 	evaluated []int
+	failed    []int
 	refitAt   []int
 }
 
@@ -185,11 +216,23 @@ func New(pool [][]float64, eval Evaluator, opt Options) (*Tuner, error) {
 
 // Run executes Algorithm 1 and returns the predicted Pareto-optimal set.
 func (t *Tuner) Run() (*Result, error) {
-	if err := t.initialise(); err != nil {
+	return t.RunContext(context.Background())
+}
+
+// RunContext executes Algorithm 1 under a context: cancelling ctx stops the
+// run between tool evaluations (and, with a context-aware evaluator wrapper
+// such as robust.Evaluator, inside them) and returns ctx.Err(). Evaluation
+// errors wrapping ErrSkipCandidate mark the candidate Failed and the loop
+// continues; any other evaluation error aborts the run.
+func (t *Tuner) RunContext(ctx context.Context) (*Result, error) {
+	if err := t.initialise(ctx); err != nil {
 		return nil, err
 	}
 	iters := 0
 	for ; iters < t.opt.MaxIter; iters++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Model calibration: shrink uncertainty regions (Eq. 9–10).
 		t.updateRegions()
 		// Decision-making: drop and classify (Eq. 11–12).
@@ -202,10 +245,8 @@ func (t *Tuner) Run() (*Result, error) {
 		if len(picks) == 0 {
 			break
 		}
-		for _, i := range picks {
-			if err := t.observe(i); err != nil {
-				return nil, err
-			}
+		if err := t.observeBatch(ctx, picks); err != nil {
+			return nil, err
 		}
 		if err := t.maybeRefit(); err != nil {
 			return nil, err
@@ -213,6 +254,7 @@ func (t *Tuner) Run() (*Result, error) {
 	}
 	res := &Result{
 		EvaluatedIdx: append([]int(nil), t.evaluated...),
+		FailedIdx:    append([]int(nil), t.failed...),
 		Runs:         len(t.evaluated),
 		Iters:        iters,
 		Status:       append([]Status(nil), t.status...),
@@ -243,7 +285,7 @@ func (t *Tuner) Run() (*Result, error) {
 
 // initialise seeds the transfer GPs with source data and a random target
 // design, fits hyper-parameters, and attaches the candidate pool.
-func (t *Tuner) initialise() error {
+func (t *Tuner) initialise(ctx context.Context) error {
 	n := len(t.pool)
 	t.status = make([]Status, n)
 	t.lo = make([][]float64, n)
@@ -257,26 +299,42 @@ func (t *Tuner) initialise() error {
 		}
 	}
 
-	// Random initial target design.
+	// Random initial target design. The permutation covers the whole pool so
+	// that candidates failing terminally under a skip policy can be replaced
+	// by the next random draw; the fault-free path consumes exactly the first
+	// init entries, preserving seed-for-seed behaviour.
 	init := t.opt.InitTarget
 	if init > n {
 		init = n
 	}
-	perm := t.opt.Rng.Perm(n)[:init]
+	perm := t.opt.Rng.Perm(n)
 	initX := make([][]float64, 0, init)
 	initY := make([][]float64, 0, init)
 	for _, i := range perm {
+		if len(initY) == init {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		y, err := t.eval(i)
 		if err != nil {
+			if errors.Is(err, ErrSkipCandidate) {
+				t.fail(i)
+				continue
+			}
 			return fmt.Errorf("core: initial evaluation %d: %w", i, err)
 		}
-		if len(y) != t.opt.NumObjectives {
-			return fmt.Errorf("core: evaluator returned %d objectives, want %d", len(y), t.opt.NumObjectives)
+		if err := validateObjectives(y, t.opt.NumObjectives); err != nil {
+			return fmt.Errorf("core: initial evaluation %d: %w", i, err)
 		}
 		t.known[i] = y
 		t.evaluated = append(t.evaluated, i)
 		initX = append(initX, t.pool[i])
 		initY = append(initY, y)
+	}
+	if len(initY) == 0 {
+		return errors.New("core: every initial evaluation failed; no data to seed the surrogates")
 	}
 
 	// Objective scales and δ from observed values (init + source).
@@ -334,7 +392,7 @@ func (t *Tuner) initialise() error {
 func (t *Tuner) updateRegions() {
 	beta := math.Sqrt(t.opt.Tau)
 	for i := range t.pool {
-		if t.status[i] == Dropped {
+		if !t.status[i].alive() {
 			continue
 		}
 		if y, ok := t.known[i]; ok {
@@ -508,7 +566,7 @@ func (t *Tuner) optCouldDominatePess(j, i int) bool {
 func (t *Tuner) aliveIndices() []int {
 	out := make([]int, 0, len(t.pool))
 	for i, s := range t.status {
-		if s != Dropped {
+		if s.alive() {
 			out = append(out, i)
 		}
 	}
@@ -556,7 +614,7 @@ func (t *Tuner) selectBatch() []int {
 	}
 	var cands []cand
 	for i, s := range t.status {
-		if s == Dropped || (!t.opt.GlobalSelection && !inFrontier[i]) {
+		if !s.alive() || (!t.opt.GlobalSelection && !inFrontier[i]) {
 			continue
 		}
 		if _, done := t.known[i]; done {
@@ -568,7 +626,7 @@ func (t *Tuner) selectBatch() []int {
 		// Every frontier point is already evaluated: fall back to the widest
 		// alive region anywhere, so undecided points still get resolved.
 		for i, s := range t.status {
-			if s == Dropped {
+			if !s.alive() {
 				continue
 			}
 			if _, done := t.known[i]; done {
@@ -601,19 +659,100 @@ func (t *Tuner) selectBatch() []int {
 	return out
 }
 
+// validateObjectives rejects malformed QoR vectors before they reach the GP
+// surrogates: a single NaN/Inf poisons every subsequent Cholesky factor and
+// silently corrupts the whole run.
+func validateObjectives(y []float64, want int) error {
+	if len(y) != want {
+		return fmt.Errorf("evaluator returned %d objectives, want %d", len(y), want)
+	}
+	for k, v := range y {
+		if math.IsNaN(v) {
+			return fmt.Errorf("evaluator returned NaN for objective %d (vector %v): refusing to poison the surrogates", k, y)
+		}
+		if math.IsInf(v, 0) {
+			return fmt.Errorf("evaluator returned %v for objective %d (vector %v): refusing to poison the surrogates", v, k, y)
+		}
+	}
+	return nil
+}
+
+// fail marks candidate i terminally failed and out of the race.
+func (t *Tuner) fail(i int) {
+	t.status[i] = Failed
+	t.failed = append(t.failed, i)
+}
+
 // observe evaluates candidate i with the tool and updates the surrogates.
 func (t *Tuner) observe(i int) error {
 	y, err := t.eval(i)
+	return t.record(i, y, err)
+}
+
+// record applies one evaluation outcome: a skip error retires the candidate,
+// a valid vector feeds the surrogates.
+func (t *Tuner) record(i int, y []float64, err error) error {
 	if err != nil {
+		if errors.Is(err, ErrSkipCandidate) {
+			t.fail(i)
+			return nil
+		}
 		return fmt.Errorf("core: evaluation %d: %w", i, err)
 	}
-	if len(y) != t.opt.NumObjectives {
-		return fmt.Errorf("core: evaluator returned %d objectives, want %d", len(y), t.opt.NumObjectives)
+	if err := validateObjectives(y, t.opt.NumObjectives); err != nil {
+		return fmt.Errorf("core: evaluation %d: %w", i, err)
 	}
 	t.known[i] = y
 	t.evaluated = append(t.evaluated, i)
 	for k, g := range t.gps {
 		if err := g.AddTarget(t.pool[i], y[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observeBatch evaluates the selected candidates, running up to Workers tool
+// invocations concurrently (Sec. 3.3: one in-flight run per tool licence).
+// Only the evaluator calls are concurrent; outcomes are applied to the
+// surrogates sequentially in selection order, so the posterior — and with it
+// the whole run — is deterministic regardless of goroutine scheduling.
+func (t *Tuner) observeBatch(ctx context.Context, picks []int) error {
+	if len(picks) == 1 || t.opt.Workers <= 1 {
+		for _, i := range picks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := t.observe(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	type outcome struct {
+		y   []float64
+		err error
+	}
+	outs := make([]outcome, len(picks))
+	sem := make(chan struct{}, t.opt.Workers)
+	var wg sync.WaitGroup
+	for j, i := range picks {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				outs[j] = outcome{nil, err}
+				return
+			}
+			y, err := t.eval(i)
+			outs[j] = outcome{y, err}
+		}(j, i)
+	}
+	wg.Wait()
+	for j, i := range picks {
+		if err := t.record(i, outs[j].y, outs[j].err); err != nil {
 			return err
 		}
 	}
@@ -692,7 +831,7 @@ func (t *Tuner) DebugState() string {
 	var wsum [8]float64
 	cnt := 0
 	for i := range t.pool {
-		if t.status[i] == Dropped {
+		if !t.status[i].alive() {
 			continue
 		}
 		if _, done := t.known[i]; done {

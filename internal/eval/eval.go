@@ -133,12 +133,28 @@ func sourceSlice(s *Scenario, objs []pdtool.Metric, rng *rand.Rand) (x [][]float
 	return x, y
 }
 
+// RunOpts carries optional harness knobs for RunMethodOpts.
+type RunOpts struct {
+	// Wrap, when non-nil, wraps the pool evaluator before it reaches the
+	// tuner — the hook for fault-tolerance middleware (robust.Evaluator,
+	// checkpoint caches, chaos injection).
+	Wrap func(core.Evaluator) core.Evaluator
+}
+
 // RunMethod executes one tuner on one scenario and objective space.
 func RunMethod(m Method, s *Scenario, space ObjSpace, seed int64) (*Outcome, error) {
+	return RunMethodOpts(m, s, space, seed, RunOpts{})
+}
+
+// RunMethodOpts is RunMethod with harness options.
+func RunMethodOpts(m Method, s *Scenario, space ObjSpace, seed int64, opts RunOpts) (*Outcome, error) {
 	rng := rand.New(rand.NewSource(seed))
 	pool := s.Target.UnitX()
 	objVecs := s.Target.Objectives(space.Metrics)
-	eval := func(i int) ([]float64, error) { return objVecs[i], nil }
+	var eval core.Evaluator = func(i int) ([]float64, error) { return objVecs[i], nil }
+	if opts.Wrap != nil {
+		eval = opts.Wrap(eval)
+	}
 	init := int(s.InitFrac * float64(s.Target.N()))
 	if init < 5 {
 		init = 5

@@ -1,0 +1,193 @@
+// Package chaos is the fault-injection harness for the evaluation path: it
+// wraps a tool evaluator and makes it misbehave the way a real P&R engine
+// does — transient errors (licence drops, farm preemption), hangs, outright
+// crashes, and corrupted QoR reports — at configurable rates.
+//
+// Injection is deterministic: each decision is drawn from a hash of
+// (seed, candidate, attempt), not from shared RNG state, so a run injects
+// the same faults regardless of goroutine scheduling, retries can be made
+// to succeed on the next attempt, and every failure-path test is exactly
+// reproducible.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrTransient is the injected transient tool failure.
+var ErrTransient = errors.New("chaos: injected transient tool failure")
+
+// Rates sets per-attempt injection probabilities. They are cumulative
+// disjoint slices of [0,1): an attempt suffers at most one fault, and
+// Transient+Hang+Panic+Corrupt must stay <= 1.
+type Rates struct {
+	// Transient is the probability of a plain retryable error.
+	Transient float64
+	// Hang is the probability the tool blocks for HangFor before failing —
+	// the case a per-evaluation deadline exists for.
+	Hang float64
+	// Panic is the probability the tool adapter panics.
+	Panic float64
+	// Corrupt is the probability the tool "succeeds" but reports a QoR
+	// vector with a NaN in it.
+	Corrupt float64
+}
+
+func (r Rates) total() float64 { return r.Transient + r.Hang + r.Panic + r.Corrupt }
+
+// Options configures an Injector.
+type Options struct {
+	// Seed drives the per-(candidate, attempt) fault draws.
+	Seed int64
+	// Rates are the injection probabilities.
+	Rates Rates
+	// HangFor is how long an injected hang blocks (default 30s). Context-
+	// aware wrappers (WrapTool) abort the hang on ctx cancellation; plain
+	// wrappers sleep the full duration in an abandoned goroutine.
+	HangFor time.Duration
+}
+
+// Injector deterministically injects faults into an evaluator.
+type Injector struct {
+	opt Options
+
+	mu       sync.Mutex
+	attempts map[int]int
+	counts   Counts
+}
+
+// Counts reports how many of each fault the injector has dealt.
+type Counts struct {
+	Transient, Hang, Panic, Corrupt, Clean int
+}
+
+// Total is the number of injected faults (everything but Clean).
+func (c Counts) Total() int { return c.Transient + c.Hang + c.Panic + c.Corrupt }
+
+// New validates the rates and builds an injector.
+func New(opt Options) (*Injector, error) {
+	r := opt.Rates
+	for _, v := range []float64{r.Transient, r.Hang, r.Panic, r.Corrupt} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return nil, fmt.Errorf("chaos: rate %v out of [0,1]", v)
+		}
+	}
+	if r.total() > 1 {
+		return nil, fmt.Errorf("chaos: rates sum to %v > 1", r.total())
+	}
+	if opt.HangFor <= 0 {
+		opt.HangFor = 30 * time.Second
+	}
+	return &Injector{opt: opt, attempts: map[int]int{}}, nil
+}
+
+// Counts returns a snapshot of the fault tally.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// Wrap makes a plain evaluator (the core.Evaluator shape — the signatures
+// are kept unnamed so values flow between packages without conversion)
+// faulty. Injected hangs block in time.Sleep for HangFor (they cannot
+// observe cancellation); use WrapTool when the caller supplies a context.
+func (in *Injector) Wrap(eval func(i int) ([]float64, error)) func(i int) ([]float64, error) {
+	return func(i int) ([]float64, error) {
+		return in.invoke(context.Background(), i,
+			func(context.Context) ([]float64, error) { return eval(i) },
+			func(ctx context.Context, d time.Duration) { time.Sleep(d) })
+	}
+}
+
+// WrapTool makes a context-aware tool (the robust.ToolFunc shape) faulty;
+// injected hangs end early when ctx is cancelled, so deadline tests do not
+// strand sleeping goroutines.
+func (in *Injector) WrapTool(tool func(ctx context.Context, i int) ([]float64, error)) func(ctx context.Context, i int) ([]float64, error) {
+	return func(ctx context.Context, i int) ([]float64, error) {
+		return in.invoke(ctx, i,
+			func(ctx context.Context) ([]float64, error) { return tool(ctx, i) },
+			sleepCtx)
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// invoke draws the fault for this (candidate, attempt) pair and acts on it.
+func (in *Injector) invoke(ctx context.Context, i int, call func(context.Context) ([]float64, error), sleep func(context.Context, time.Duration)) ([]float64, error) {
+	in.mu.Lock()
+	attempt := in.attempts[i]
+	in.attempts[i]++
+	in.mu.Unlock()
+
+	u := hash01(in.opt.Seed, i, attempt)
+	r := in.opt.Rates
+	switch {
+	case u < r.Transient:
+		in.count(func(c *Counts) { c.Transient++ })
+		return nil, fmt.Errorf("chaos: candidate %d attempt %d: %w", i, attempt, ErrTransient)
+	case u < r.Transient+r.Hang:
+		in.count(func(c *Counts) { c.Hang++ })
+		sleep(ctx, in.opt.HangFor)
+		// A hang that "wakes up" (no deadline configured, or context-aware
+		// cancellation) still fails transiently, so undisciplined callers
+		// cannot mistake it for success.
+		return nil, fmt.Errorf("chaos: candidate %d attempt %d: hung for %v: %w", i, attempt, in.opt.HangFor, ErrTransient)
+	case u < r.Transient+r.Hang+r.Panic:
+		in.count(func(c *Counts) { c.Panic++ })
+		panic(fmt.Sprintf("chaos: injected tool crash (candidate %d attempt %d)", i, attempt))
+	case u < r.total():
+		in.count(func(c *Counts) { c.Corrupt++ })
+		y, err := call(ctx)
+		if err != nil {
+			return nil, err
+		}
+		bad := append([]float64(nil), y...)
+		if len(bad) > 0 {
+			bad[i%len(bad)] = math.NaN()
+		}
+		return bad, nil
+	default:
+		in.count(func(c *Counts) { c.Clean++ })
+		return call(ctx)
+	}
+}
+
+func (in *Injector) count(f func(*Counts)) {
+	in.mu.Lock()
+	f(&in.counts)
+	in.mu.Unlock()
+}
+
+// hash01 maps (seed, candidate, attempt) to a uniform value in [0,1) via a
+// splitmix64-style finaliser — stateless, so concurrent evaluation order
+// cannot change which faults are injected.
+func hash01(seed int64, i, attempt int) float64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	h += uint64(i) * 0xbf58476d1ce4e5b9
+	h = mix64(h)
+	h += uint64(attempt) * 0x94d049bb133111eb
+	h = mix64(h)
+	return float64(h>>11) / float64(1<<53)
+}
+
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

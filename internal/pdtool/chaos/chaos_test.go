@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func okEval(i int) ([]float64, error) { return []float64{float64(i), 1}, nil }
+
+func TestZeroRatesArePassthrough(t *testing.T) {
+	in, err := New(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := in.Wrap(okEval)
+	for i := 0; i < 50; i++ {
+		y, err := eval(i)
+		if err != nil {
+			t.Fatalf("eval(%d): %v", i, err)
+		}
+		if y[0] != float64(i) {
+			t.Errorf("y = %v", y)
+		}
+	}
+	c := in.Counts()
+	if c.Total() != 0 || c.Clean != 50 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestRateValidation(t *testing.T) {
+	if _, err := New(Options{Rates: Rates{Transient: -0.1}}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := New(Options{Rates: Rates{Transient: 0.6, Hang: 0.6}}); err == nil {
+		t.Error("rates summing over 1 accepted")
+	}
+	if _, err := New(Options{Rates: Rates{Corrupt: math.NaN()}}); err == nil {
+		t.Error("NaN rate accepted")
+	}
+}
+
+func TestInjectionRatesRoughlyHonoured(t *testing.T) {
+	in, err := New(Options{Seed: 7, Rates: Rates{Transient: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := in.Wrap(okEval)
+	fails := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := eval(i); err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			fails++
+		}
+	}
+	frac := float64(fails) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("transient fraction = %.3f, want ~0.30", frac)
+	}
+}
+
+func TestDeterministicAcrossRunsAndSchedules(t *testing.T) {
+	outcomes := func(parallel bool) []bool {
+		in, err := New(Options{Seed: 3, Rates: Rates{Transient: 0.5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eval := in.Wrap(okEval)
+		const n = 200
+		out := make([]bool, n)
+		if parallel {
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, err := eval(i)
+					out[i] = err == nil
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < n; i++ {
+				_, err := eval(i)
+				out[i] = err == nil
+			}
+		}
+		return out
+	}
+	seq := outcomes(false)
+	par := outcomes(true)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("candidate %d: injection differs between sequential and parallel schedules", i)
+		}
+	}
+}
+
+func TestRetrySeesFreshDraw(t *testing.T) {
+	// With a 50% transient rate some candidate must fail on attempt 0 and
+	// succeed on attempt 1 — the property retry logic depends on.
+	in, err := New(Options{Seed: 5, Rates: Rates{Transient: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := in.Wrap(okEval)
+	recovered := false
+	for i := 0; i < 50 && !recovered; i++ {
+		if _, err := eval(i); err != nil {
+			if _, err2 := eval(i); err2 == nil {
+				recovered = true
+			}
+		}
+	}
+	if !recovered {
+		t.Error("no candidate recovered on retry across 50 candidates at 50% rate")
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	in, err := New(Options{Seed: 11, Rates: Rates{Panic: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := in.Wrap(okEval)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic injected at rate 1")
+		}
+		if in.Counts().Panic != 1 {
+			t.Errorf("counts = %+v", in.Counts())
+		}
+	}()
+	eval(0)
+}
+
+func TestCorruptInjectionPoisonsVector(t *testing.T) {
+	in, err := New(Options{Seed: 13, Rates: Rates{Corrupt: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := in.Wrap(okEval)
+	y, err := eval(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasNaN := false
+	for _, v := range y {
+		hasNaN = hasNaN || math.IsNaN(v)
+	}
+	if !hasNaN {
+		t.Errorf("corrupted vector %v has no NaN", y)
+	}
+	// The pristine vector must not be mutated in place.
+	y2, _ := okEval(4)
+	if math.IsNaN(y2[0]) || math.IsNaN(y2[1]) {
+		t.Error("corruption leaked into the source vector")
+	}
+}
+
+func TestHangBlocksThenFails(t *testing.T) {
+	in, err := New(Options{Seed: 17, Rates: Rates{Hang: 1}, HangFor: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := in.Wrap(okEval)
+	start := time.Now()
+	_, err = eval(0)
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("hang returned %v, want transient error", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("hang lasted %v, want >= ~30ms", d)
+	}
+}
+
+func TestWrapToolHangHonoursContext(t *testing.T) {
+	in, err := New(Options{Seed: 19, Rates: Rates{Hang: 1}, HangFor: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := in.WrapTool(func(_ context.Context, i int) ([]float64, error) { return okEval(i) })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = tool(ctx, 0)
+	if err == nil {
+		t.Fatal("hung tool reported success")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("context-aware hang ignored cancellation (%v)", d)
+	}
+}
+
+func TestHash01Range(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		u := hash01(42, i, i%3)
+		if u < 0 || u >= 1 {
+			t.Fatalf("hash01 = %v out of [0,1)", u)
+		}
+	}
+	if hash01(1, 2, 3) == hash01(2, 2, 3) {
+		t.Error("seed does not perturb the draw")
+	}
+	if hash01(1, 2, 3) == hash01(1, 2, 4) {
+		t.Error("attempt does not perturb the draw")
+	}
+}

@@ -84,34 +84,60 @@ type Design struct {
 var (
 	smallOnce sync.Once
 	smallMAC  *Design
+	smallErr  error
 	largeOnce sync.Once
 	largeMAC  *Design
+	largeErr  error
 )
 
-// SmallMAC returns the ~3.5k-cell MAC standing in for the paper's 20k-cell
-// design (cached; the netlist is immutable — Run copies what it mutates).
-func SmallMAC() *Design {
+// NewSmallMAC builds (once, cached) the ~3.5k-cell MAC standing in for the
+// paper's 20k-cell design, returning an error instead of panicking when the
+// netlist generator fails — library users embedding the tuner should not be
+// killed by a bad build. The netlist is immutable; Run copies what it
+// mutates.
+func NewSmallMAC() (*Design, error) {
 	smallOnce.Do(func() {
 		nl, err := netlist.MAC("mac-small", 24)
 		if err != nil {
-			panic(err)
+			smallErr = fmt.Errorf("pdtool: build mac-small: %w", err)
+			return
 		}
 		smallMAC = &Design{Name: "mac-small", NL: nl, Lib: lib.Default7nm()}
 	})
-	return smallMAC
+	return smallMAC, smallErr
 }
 
-// LargeMAC returns the ~9.5k-cell MAC standing in for the paper's 67k-cell
-// design.
-func LargeMAC() *Design {
+// NewLargeMAC builds (once, cached) the ~9.5k-cell MAC standing in for the
+// paper's 67k-cell design; error-returning like NewSmallMAC.
+func NewLargeMAC() (*Design, error) {
 	largeOnce.Do(func() {
 		nl, err := netlist.MAC("mac-large", 44)
 		if err != nil {
-			panic(err)
+			largeErr = fmt.Errorf("pdtool: build mac-large: %w", err)
+			return
 		}
 		largeMAC = &Design{Name: "mac-large", NL: nl, Lib: lib.Default7nm()}
 	})
-	return largeMAC
+	return largeMAC, largeErr
+}
+
+// SmallMAC is the panicking convenience wrapper around NewSmallMAC, kept for
+// compatibility (examples, quick scripts).
+func SmallMAC() *Design {
+	d, err := NewSmallMAC()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// LargeMAC is the panicking convenience wrapper around NewLargeMAC.
+func LargeMAC() *Design {
+	d, err := NewLargeMAC()
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // Report carries per-stage diagnostics alongside the QoR.

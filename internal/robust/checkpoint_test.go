@@ -1,0 +1,166 @@
+package robust
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	c := NewCheckpoint(path)
+	if err := c.Add(4, []float64{1.5, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(9, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("restored %d entries, want 2", r.Len())
+	}
+	y, ok := r.Lookup(4)
+	if !ok || y[0] != 1.5 || y[1] != 2.5 {
+		t.Errorf("Lookup(4) = %v, %v", y, ok)
+	}
+	if _, ok := r.Lookup(5); ok {
+		t.Error("Lookup(5) hit for missing entry")
+	}
+}
+
+func TestLoadCheckpointMissingFileIsEmpty(t *testing.T) {
+	c, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d, want 0", c.Len())
+	}
+}
+
+func TestLoadCheckpointRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+	ver := filepath.Join(dir, "ver.json")
+	os.WriteFile(ver, []byte(`{"version":9,"runs":[]}`), 0o644)
+	if _, err := LoadCheckpoint(ver); err == nil {
+		t.Error("future version accepted")
+	}
+	// JSON cannot encode NaN, but an out-of-range literal decodes toward Inf:
+	// either the decoder or ValidateVector must reject it.
+	inf := filepath.Join(dir, "inf.json")
+	os.WriteFile(inf, []byte(`{"version":1,"runs":[{"index":0,"qor":[1e999]}]}`), 0o644)
+	if _, err := LoadCheckpoint(inf); err == nil {
+		t.Error("out-of-range QoR entry accepted")
+	}
+}
+
+func TestCheckpointRejectsInvalidVectors(t *testing.T) {
+	c := NewCheckpoint("")
+	if err := c.Add(0, []float64{math.NaN()}); err == nil {
+		t.Error("NaN observation checkpointed")
+	}
+	if err := c.Add(0, []float64{math.Inf(1)}); err == nil {
+		t.Error("Inf observation checkpointed")
+	}
+}
+
+func TestCheckpointWrapCachesAndCounts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	c := NewCheckpoint(path)
+	calls := 0
+	eval := c.Wrap(func(i int) ([]float64, error) {
+		calls++
+		return []float64{float64(i), float64(i * 2)}, nil
+	})
+	for _, i := range []int{3, 5, 3, 5, 3} {
+		y, err := eval(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y[0] != float64(i) {
+			t.Errorf("eval(%d) = %v", i, y)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("inner evaluator called %d times, want 2", calls)
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 2 {
+		t.Errorf("stats = %d hits / %d misses, want 3/2", hits, misses)
+	}
+
+	// A fresh process resumes from the file and pays zero tool calls.
+	r, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls2 := 0
+	eval2 := r.Wrap(func(i int) ([]float64, error) { calls2++; return nil, errors.New("tool gone") })
+	for _, i := range []int{3, 5} {
+		if _, err := eval2(i); err != nil {
+			t.Fatalf("resumed eval(%d): %v", i, err)
+		}
+	}
+	if calls2 != 0 {
+		t.Errorf("resumed run invoked the tool %d times, want 0", calls2)
+	}
+}
+
+func TestCheckpointWrapDoesNotCacheErrorsOrGarbage(t *testing.T) {
+	c := NewCheckpoint("")
+	fail := true
+	eval := c.Wrap(func(i int) ([]float64, error) {
+		if fail {
+			return nil, errors.New("transient")
+		}
+		return []float64{1}, nil
+	})
+	if _, err := eval(0); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if c.Len() != 0 {
+		t.Error("failed evaluation was cached")
+	}
+	fail = false
+	if _, err := eval(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Error("successful evaluation not cached")
+	}
+
+	// Corrupt QoR passes through (for the resilience layer to reject) but is
+	// never persisted.
+	bad := c.Wrap(func(i int) ([]float64, error) { return []float64{math.NaN()}, nil })
+	y, err := bad(7)
+	if err != nil || !math.IsNaN(y[0]) {
+		t.Fatalf("corrupt passthrough = %v, %v", y, err)
+	}
+	if _, ok := c.Lookup(7); ok {
+		t.Error("corrupt QoR was cached")
+	}
+}
+
+func TestCheckpointLookupReturnsCopy(t *testing.T) {
+	c := NewCheckpoint("")
+	if err := c.Add(1, []float64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Lookup(1)
+	y[0] = 999
+	y2, _ := c.Lookup(1)
+	if y2[0] != 10 {
+		t.Error("Lookup exposed internal storage")
+	}
+}

@@ -1,0 +1,132 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a failure event.
+type Kind string
+
+const (
+	// KindError is an ordinary tool error (licence drop, non-zero exit...).
+	KindError Kind = "error"
+	// KindTimeout is a per-evaluation deadline expiry — a hung tool.
+	KindTimeout Kind = "timeout"
+	// KindPanic is a recovered tool-adapter panic.
+	KindPanic Kind = "panic"
+	// KindInvalid is a malformed QoR vector (NaN/Inf/wrong length).
+	KindInvalid Kind = "invalid"
+)
+
+// classify maps an attempt error to its Kind.
+func classify(err error) Kind {
+	var pe *PanicError
+	var ve *ValidationError
+	switch {
+	case errors.As(err, &pe):
+		return KindPanic
+	case errors.As(err, &ve):
+		return KindInvalid
+	case errors.Is(err, context.DeadlineExceeded):
+		return KindTimeout
+	default:
+		return KindError
+	}
+}
+
+// Event is one recorded evaluation failure (one attempt).
+type Event struct {
+	// Index is the pool candidate whose evaluation failed.
+	Index int
+	// Attempt counts from 0 within the candidate's retry budget.
+	Attempt int
+	// Kind classifies the failure.
+	Kind Kind
+	// Err is the error text.
+	Err string
+	// Terminal marks the last attempt: the candidate's budget is spent.
+	Terminal bool
+}
+
+// FailureLog accumulates failure events across a run. It is safe for
+// concurrent use (batch evaluation runs several workers) and nil-safe: a
+// nil log discards events, so callers never need to guard.
+type FailureLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (l *FailureLog) add(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in order.
+func (l *FailureLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Len is the number of recorded events.
+func (l *FailureLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Terminal counts events that exhausted a candidate's retry budget.
+func (l *FailureLog) Terminal() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.events {
+		if ev.Terminal {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary renders a one-line per-kind digest, e.g.
+// "7 failures (error:4 timeout:2 panic:1), 1 terminal".
+func (l *FailureLog) Summary() string {
+	if l.Len() == 0 {
+		return "no failures"
+	}
+	l.mu.Lock()
+	byKind := map[Kind]int{}
+	terminal := 0
+	for _, ev := range l.events {
+		byKind[ev.Kind]++
+		if ev.Terminal {
+			terminal++
+		}
+	}
+	total := len(l.events)
+	l.mu.Unlock()
+	parts := make([]string, 0, len(byKind))
+	for _, k := range []Kind{KindError, KindTimeout, KindPanic, KindInvalid} {
+		if n := byKind[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", k, n))
+		}
+	}
+	return fmt.Sprintf("%d failures (%s), %d terminal", total, strings.Join(parts, " "), terminal)
+}

@@ -1,0 +1,425 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ppatuner/internal/core"
+)
+
+// noSleep collects requested backoffs without sleeping.
+type noSleep struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+func (s *noSleep) sleep(d time.Duration) {
+	s.mu.Lock()
+	s.ds = append(s.ds, d)
+	s.mu.Unlock()
+}
+
+func TestTransientFailureRecoversAfterRetry(t *testing.T) {
+	calls := 0
+	tool := func(_ context.Context, i int) ([]float64, error) {
+		calls++
+		if calls < 3 {
+			return nil, errors.New("licence checkout failed")
+		}
+		return []float64{1, 2}, nil
+	}
+	ns := &noSleep{}
+	log := &FailureLog{}
+	e, err := New(context.Background(), tool, Options{MaxRetries: 3, NumObjectives: 2, Sleep: ns.sleep, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := e.Evaluate(7)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if y[0] != 1 || y[1] != 2 {
+		t.Errorf("y = %v", y)
+	}
+	if calls != 3 {
+		t.Errorf("tool called %d times, want 3", calls)
+	}
+	if len(ns.ds) != 2 {
+		t.Errorf("slept %d times, want 2", len(ns.ds))
+	}
+	if log.Len() != 2 || log.Terminal() != 0 {
+		t.Errorf("log: %s", log.Summary())
+	}
+	for _, ev := range log.Events() {
+		if ev.Index != 7 || ev.Kind != KindError {
+			t.Errorf("event = %+v", ev)
+		}
+	}
+}
+
+func TestTerminalFailurePolicySkipWrapsSentinel(t *testing.T) {
+	boom := errors.New("corrupted netlist")
+	tool := func(_ context.Context, i int) ([]float64, error) { return nil, boom }
+	log := &FailureLog{}
+	e, err := New(context.Background(), tool, Options{MaxRetries: 2, Policy: PolicySkip, Sleep: func(time.Duration) {}, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Evaluate(3)
+	if !errors.Is(err, core.ErrSkipCandidate) {
+		t.Fatalf("err = %v, want wrapped ErrSkipCandidate", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want to also wrap the tool error", err)
+	}
+	if log.Terminal() != 1 {
+		t.Errorf("terminal events = %d, want 1", log.Terminal())
+	}
+}
+
+func TestTerminalFailurePolicyRetryAborts(t *testing.T) {
+	boom := errors.New("down hard")
+	tool := func(_ context.Context, i int) ([]float64, error) { return nil, boom }
+	e, err := New(context.Background(), tool, Options{MaxRetries: 1, Policy: PolicyRetry, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Evaluate(0)
+	if errors.Is(err, core.ErrSkipCandidate) {
+		t.Error("PolicyRetry must not signal skip")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped tool error", err)
+	}
+}
+
+func TestPolicyAbortSingleAttempt(t *testing.T) {
+	calls := 0
+	tool := func(_ context.Context, i int) ([]float64, error) {
+		calls++
+		return nil, errors.New("no")
+	}
+	e, err := New(context.Background(), tool, Options{MaxRetries: 5, Policy: PolicyAbort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(0); err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 1 {
+		t.Errorf("tool called %d times under PolicyAbort, want 1", calls)
+	}
+}
+
+func TestHangHitsDeadlineThenRecovers(t *testing.T) {
+	var calls atomic.Int32 // the timed-out goroutine finishes concurrently with the retry
+	tool := func(ctx context.Context, i int) ([]float64, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done() // honour the deadline like a context-aware adapter
+			return nil, ctx.Err()
+		}
+		return []float64{4}, nil
+	}
+	log := &FailureLog{}
+	e, err := New(context.Background(), tool, Options{
+		Timeout: 20 * time.Millisecond, MaxRetries: 1, NumObjectives: 1,
+		Sleep: func(time.Duration) {}, Log: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := e.Evaluate(5)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if y[0] != 4 {
+		t.Errorf("y = %v", y)
+	}
+	evs := log.Events()
+	if len(evs) != 1 || evs[0].Kind != KindTimeout {
+		t.Errorf("events = %+v, want one timeout", evs)
+	}
+}
+
+func TestHangAbandonsUncooperativeTool(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int32 // the abandoned goroutine outlives its attempt
+	tool := func(_ context.Context, i int) ([]float64, error) {
+		if calls.Add(1) == 1 {
+			<-release // a true hang: ignores ctx entirely
+		}
+		return []float64{1}, nil
+	}
+	e, err := New(context.Background(), tool, Options{
+		Timeout: 10 * time.Millisecond, MaxRetries: 1, NumObjectives: 1,
+		Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var y []float64
+	var evalErr error
+	go func() {
+		y, evalErr = e.Evaluate(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Evaluate blocked on a hung tool despite the deadline")
+	}
+	close(release) // unstick the abandoned goroutine
+	if evalErr != nil {
+		t.Fatalf("Evaluate: %v", evalErr)
+	}
+	if y[0] != 1 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func TestPanicRecoveredAndRetried(t *testing.T) {
+	calls := 0
+	tool := func(_ context.Context, i int) ([]float64, error) {
+		calls++
+		if calls == 1 {
+			panic("tool adapter exploded")
+		}
+		return []float64{9}, nil
+	}
+	log := &FailureLog{}
+	e, err := New(context.Background(), tool, Options{MaxRetries: 1, NumObjectives: 1, Sleep: func(time.Duration) {}, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := e.Evaluate(2)
+	if err != nil {
+		t.Fatalf("Evaluate after panic: %v", err)
+	}
+	if y[0] != 9 {
+		t.Errorf("y = %v", y)
+	}
+	evs := log.Events()
+	if len(evs) != 1 || evs[0].Kind != KindPanic {
+		t.Errorf("events = %+v, want one panic", evs)
+	}
+}
+
+func TestInvalidVectorRejectedAndRetried(t *testing.T) {
+	calls := 0
+	tool := func(_ context.Context, i int) ([]float64, error) {
+		calls++
+		switch calls {
+		case 1:
+			return []float64{math.NaN(), 1}, nil
+		case 2:
+			return []float64{1}, nil // wrong length
+		case 3:
+			return []float64{1, math.Inf(1)}, nil
+		}
+		return []float64{1, 2}, nil
+	}
+	log := &FailureLog{}
+	e, err := New(context.Background(), tool, Options{MaxRetries: 3, NumObjectives: 2, Sleep: func(time.Duration) {}, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := e.Evaluate(0)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if y[0] != 1 || y[1] != 2 {
+		t.Errorf("y = %v", y)
+	}
+	for _, ev := range log.Events() {
+		if ev.Kind != KindInvalid {
+			t.Errorf("event kind = %s, want invalid", ev.Kind)
+		}
+	}
+	if log.Len() != 3 {
+		t.Errorf("%d events, want 3", log.Len())
+	}
+}
+
+func TestContextCancellationStopsEvaluation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tool := func(ctx context.Context, i int) ([]float64, error) {
+		cancel() // the run is torn down mid-evaluation
+		return nil, ctx.Err()
+	}
+	e, err := New(ctx, tool, Options{MaxRetries: 5, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Evaluate(0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBackoffGrowsAndRespectsJitterBounds(t *testing.T) {
+	tool := func(_ context.Context, i int) ([]float64, error) { return nil, errors.New("x") }
+	ns := &noSleep{}
+	e, err := New(context.Background(), tool, Options{
+		MaxRetries: 4, Backoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond,
+		JitterFrac: 0.5, Policy: PolicySkip, Sleep: ns.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Evaluate(0)
+	if len(ns.ds) != 4 {
+		t.Fatalf("%d sleeps, want 4", len(ns.ds))
+	}
+	// Nominal ladder 100, 200, 400, 400(capped) ms, each jittered ±50%.
+	nominal := []time.Duration{100, 200, 400, 400}
+	for k, d := range ns.ds {
+		lo := time.Duration(float64(nominal[k]) * 0.5 * float64(time.Millisecond))
+		hi := time.Duration(float64(nominal[k]) * 1.5 * float64(time.Millisecond))
+		if d < lo || d > hi {
+			t.Errorf("backoff %d = %v outside [%v, %v]", k, d, lo, hi)
+		}
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	run := func() []time.Duration {
+		tool := func(_ context.Context, i int) ([]float64, error) { return nil, errors.New("x") }
+		ns := &noSleep{}
+		e, err := New(context.Background(), tool, Options{MaxRetries: 3, Seed: 42, Policy: PolicySkip, Sleep: ns.sleep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Evaluate(0)
+		return ns.ds
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("sleep counts differ: %d vs %d", len(a), len(b))
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Errorf("backoff %d differs across identical seeds: %v vs %v", k, a[k], b[k])
+		}
+	}
+}
+
+func TestWrapPlainEvaluator(t *testing.T) {
+	calls := 0
+	var eval core.Evaluator = func(i int) ([]float64, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("flake")
+		}
+		return []float64{float64(i)}, nil
+	}
+	e, err := Wrap(context.Background(), eval, Options{MaxRetries: 1, NumObjectives: 1, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The method value satisfies core.Evaluator.
+	var ce core.Evaluator = e.Evaluate
+	y, err := ce(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(context.Background(), nil, Options{}); err == nil {
+		t.Error("nil tool accepted")
+	}
+	if _, err := Wrap(context.Background(), nil, Options{}); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+}
+
+func TestFailureLogConcurrentAndNilSafe(t *testing.T) {
+	var nilLog *FailureLog
+	nilLog.add(Event{}) // must not panic
+	if nilLog.Len() != 0 || nilLog.Terminal() != 0 || nilLog.Events() != nil {
+		t.Error("nil log not inert")
+	}
+	if nilLog.Summary() != "no failures" {
+		t.Errorf("nil summary = %q", nilLog.Summary())
+	}
+	log := &FailureLog{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				log.add(Event{Index: w, Attempt: k, Kind: KindError, Terminal: k == 99})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if log.Len() != 800 {
+		t.Errorf("len = %d, want 800", log.Len())
+	}
+	if log.Terminal() != 8 {
+		t.Errorf("terminal = %d, want 8", log.Terminal())
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	log := &FailureLog{}
+	log.add(Event{Kind: KindError})
+	log.add(Event{Kind: KindTimeout})
+	log.add(Event{Kind: KindTimeout, Terminal: true})
+	want := "3 failures (error:1 timeout:2), 1 terminal"
+	if got := log.Summary(); got != want {
+		t.Errorf("Summary() = %q, want %q", got, want)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, p := range map[string]FailurePolicy{"retry": PolicyRetry, "skip": PolicySkip, "abort": PolicyAbort} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParsePolicy("yolo"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestValidateVector(t *testing.T) {
+	if err := ValidateVector([]float64{1, 2}, 2); err != nil {
+		t.Errorf("valid vector rejected: %v", err)
+	}
+	if err := ValidateVector([]float64{1}, 2); err == nil {
+		t.Error("short vector accepted")
+	}
+	if err := ValidateVector([]float64{1, math.NaN()}, 0); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := ValidateVector([]float64{math.Inf(-1)}, 0); err == nil {
+		t.Error("-Inf accepted")
+	}
+}
+
+func TestEvaluateErrorMentionsAttempts(t *testing.T) {
+	tool := func(_ context.Context, i int) ([]float64, error) { return nil, errors.New("x") }
+	e, _ := New(context.Background(), tool, Options{MaxRetries: 2, Policy: PolicySkip, Sleep: func(time.Duration) {}})
+	_, err := e.Evaluate(11)
+	want := fmt.Sprintf("evaluation %d failed after %d attempts", 11, 3)
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %v, want to contain %q", err, want)
+	}
+}

@@ -39,6 +39,8 @@ import (
 	"ppatuner/internal/param"
 	"ppatuner/internal/pareto"
 	"ppatuner/internal/pdtool"
+	"ppatuner/internal/pdtool/chaos"
+	"ppatuner/internal/robust"
 )
 
 // ---- Parameter spaces (Table 1) ----
@@ -89,10 +91,14 @@ const (
 // Design is a benchmark circuit.
 type Design = pdtool.Design
 
-// SmallMAC and LargeMAC return the built-in benchmark designs.
+// SmallMAC and LargeMAC return the built-in benchmark designs (panicking on
+// a failed build); NewSmallMAC and NewLargeMAC are the error-returning
+// variants for library embedders.
 var (
-	SmallMAC = pdtool.SmallMAC
-	LargeMAC = pdtool.LargeMAC
+	SmallMAC    = pdtool.SmallMAC
+	LargeMAC    = pdtool.LargeMAC
+	NewSmallMAC = pdtool.NewSmallMAC
+	NewLargeMAC = pdtool.NewLargeMAC
 )
 
 // FlowReport carries per-stage diagnostics of a flow run.
@@ -163,6 +169,81 @@ func NewTuner(pool [][]float64, e Evaluator, opt TunerOptions) (*Tuner, error) {
 // TransferFactor exposes Eq. (7): the cross-task correlation implied by the
 // Gamma dissimilarity parameters (a, b).
 var TransferFactor = gp.TransferFactor
+
+// ---- Fault-tolerant evaluation ----
+//
+// Real PD tools fail: licences drop, runs hang, adapters crash, QoR reports
+// come back corrupted. ResilientEvaluator hardens any Evaluator against all
+// of that; EvalCheckpoint makes runs crash-safe; the chaos Injector lets you
+// rehearse the failure paths. See DESIGN.md, "Fault tolerance".
+
+// ResilientEvaluator wraps an Evaluator with deadlines, bounded retries,
+// panic recovery, QoR validation and a failure policy. Pass its Evaluate
+// method to NewTuner.
+type ResilientEvaluator = robust.Evaluator
+
+// ResilientOptions configures a ResilientEvaluator.
+type ResilientOptions = robust.Options
+
+// FailurePolicy decides the fate of a candidate that exhausts its retries.
+type FailurePolicy = robust.FailurePolicy
+
+// The three failure policies.
+const (
+	PolicyRetry = robust.PolicyRetry
+	PolicySkip  = robust.PolicySkip
+	PolicyAbort = robust.PolicyAbort
+)
+
+// ParseFailurePolicy maps the CLI spelling ("retry", "skip", "abort") to a
+// FailurePolicy.
+var ParseFailurePolicy = robust.ParsePolicy
+
+// FailureLog collects per-attempt failure events across a run.
+type FailureLog = robust.FailureLog
+
+// FailureEvent is one recorded evaluation failure.
+type FailureEvent = robust.Event
+
+// NewResilientEvaluator builds a fault-tolerant evaluator around a
+// context-aware tool function; WrapEvaluator lifts a plain Evaluator.
+var (
+	NewResilientEvaluator = robust.New
+	WrapEvaluator         = robust.Wrap
+)
+
+// ErrSkipCandidate marks a terminal per-candidate evaluation failure that
+// the tuner survives: the candidate is marked Failed (see TunerResult's
+// FailedIdx) and the PAL loop continues.
+var ErrSkipCandidate = core.ErrSkipCandidate
+
+// EvalCheckpoint is a crash-safe JSON cache of tool observations: wrap the
+// evaluator with it and a killed run, restarted with the same seed, replays
+// paid-for tool runs from disk instead of re-invoking the tool.
+type EvalCheckpoint = robust.Checkpoint
+
+// NewCheckpoint builds an empty checkpoint; LoadCheckpoint restores one
+// (a missing file yields an empty checkpoint, serving fresh start and
+// resume alike).
+var (
+	NewCheckpoint  = robust.NewCheckpoint
+	LoadCheckpoint = robust.LoadCheckpoint
+)
+
+// ChaosInjector deterministically injects tool faults (transient errors,
+// hangs, panics, corrupted QoR) into an evaluator — the test harness for
+// every failure path above.
+type ChaosInjector = chaos.Injector
+
+// ChaosOptions configures a ChaosInjector; ChaosRates sets the per-attempt
+// injection probabilities.
+type (
+	ChaosOptions = chaos.Options
+	ChaosRates   = chaos.Rates
+)
+
+// NewChaos builds a chaos injector.
+var NewChaos = chaos.New
 
 // ---- Multi-objective metrics ----
 
