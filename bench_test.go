@@ -20,8 +20,16 @@ import (
 	"ppatuner"
 	"ppatuner/internal/core"
 	"ppatuner/internal/eval"
+	"ppatuner/internal/gpbench"
 	"ppatuner/internal/pareto"
 )
+
+// ---- GP hot-path micro-suite (shared with cmd/bench, which emits
+// BENCH_gp.json so the perf trajectory is machine-readable per PR) ----
+
+func BenchmarkFitRefit(b *testing.B)    { gpbench.FitRefit(b) }
+func BenchmarkPredictPool(b *testing.B) { gpbench.PredictPool(b) }
+func BenchmarkAddTarget(b *testing.B)   { gpbench.AddTarget(b) }
 
 // BenchmarkTable1Stats regenerates the Table 1 parameter statistics.
 func BenchmarkTable1Stats(b *testing.B) {

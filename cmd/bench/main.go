@@ -1,0 +1,98 @@
+// Command bench runs the GP hot-path micro-benchmarks (internal/gpbench) and
+// writes the results to a JSON file, giving every PR a machine-readable perf
+// trajectory for the surrogate loop:
+//
+//	go run ./cmd/bench -o BENCH_gp.json
+//
+// The same benchmarks are exposed to `go test -bench` as BenchmarkFitRefit,
+// BenchmarkPredictPool and BenchmarkAddTarget in the root package; this
+// command exists so CI can archive the numbers without scraping test output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ppatuner/internal/gpbench"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_gp.json document.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Timestamp string   `json:"timestamp"`
+	Results   []Result `json:"results"`
+}
+
+func run(name string, fn func(*testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_gp.json", "output file for the JSON benchmark report")
+	benchtime := flag.String("benchtime", "", "per-benchmark budget as a duration or iteration count (e.g. 2s, 1x); empty keeps the testing default")
+	testing.Init()
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -benchtime %s: %v\n", *benchtime, err)
+			os.Exit(2)
+		}
+	}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"FitRefit", gpbench.FitRefit},
+		{"PredictPool", gpbench.PredictPool},
+		{"AddTarget", gpbench.AddTarget},
+	} {
+		res := run(bench.name, bench.fn)
+		fmt.Printf("%-12s %10.0f ns/op %8d B/op %6d allocs/op (%d iters)\n",
+			bench.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
+		rep.Results = append(rep.Results, res)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

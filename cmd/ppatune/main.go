@@ -7,7 +7,7 @@
 //	ppatune [-scenario 1|2] [-space area-delay|power-delay|area-power-delay]
 //	        [-method PPATuner|TCAD'19|MLCAD'19|DAC'19|ASPDAC'20] [-seed N]
 //	        [-timeout D] [-retries N] [-policy retry|skip|abort]
-//	        [-checkpoint FILE] [-chaos RATE]
+//	        [-checkpoint FILE] [-chaos RATE] [-workers N] [-log]
 //
 // The fault-tolerance flags harden the evaluation path: -timeout bounds each
 // tool evaluation, -retries bounds re-attempts with exponential backoff,
@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -39,6 +40,8 @@ func main() {
 	policyName := flag.String("policy", "skip", "failure policy after retries: retry | skip | abort")
 	ckptPath := flag.String("checkpoint", "", "JSON checkpoint file: observations are persisted there and resumed from it")
 	chaosRate := flag.Float64("chaos", 0, "injected transient-fault rate in [0,1) (hangs/panics/corrupt QoR injected at rate/10 each)")
+	workers := flag.Int("workers", 0, "tuner concurrency: surrogate fits, pool sweeps and batched tool calls (0 = engine default; results are identical for any value)")
+	logJSON := flag.Bool("log", false, "stream evaluation-failure events as structured JSON logs on stderr")
 	flag.Parse()
 
 	// Validate every flag before the scenario build: generating the offline
@@ -111,6 +114,9 @@ func main() {
 	// chaos injection (optional rehearsal) -> checkpoint write-through ->
 	// resilient retry/deadline/validation layer.
 	flog := &ppatuner.FailureLog{}
+	if *logJSON {
+		flog.Stream(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	}
 	wrap := func(ev ppatuner.Evaluator) ppatuner.Evaluator {
 		if inj != nil {
 			ev = inj.Wrap(ev)
@@ -135,7 +141,7 @@ func main() {
 	m := eval.Method(*method)
 	fmt.Printf("%s | %s | %s (seed %d)\n", s.Name, space.Name, m, *seed)
 	start := time.Now()
-	out, err := eval.RunMethodOpts(m, s, space, *seed, eval.RunOpts{Wrap: wrap})
+	out, err := eval.RunMethodOpts(m, s, space, *seed, eval.RunOpts{Wrap: wrap, Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
 		os.Exit(1)

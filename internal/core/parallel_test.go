@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParallelTunerMatchesSerial: the sharded region updates, sharded
+// classification passes and concurrent per-objective fits must reproduce the
+// fully serial tuner bit-for-bit — same seed, same evaluations, same final
+// classification of every candidate — for any worker count, including one
+// larger than Batch.
+func TestParallelTunerMatchesSerial(t *testing.T) {
+	pool := synthPool(rand.New(rand.NewSource(41)), 200)
+	run := func(workers int) *Result {
+		rng := rand.New(rand.NewSource(42))
+		opt := defaultOpts(rng)
+		opt.Batch = 2
+		opt.Workers = workers
+		opt.MaxIter = 25
+		tn, err := New(pool, poolEval(pool, synthObj, nil), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tn.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial.Runs != parallel.Runs || serial.Iters != parallel.Iters {
+		t.Fatalf("serial %d runs/%d iters, parallel %d/%d",
+			serial.Runs, serial.Iters, parallel.Runs, parallel.Iters)
+	}
+	if len(serial.EvaluatedIdx) != len(parallel.EvaluatedIdx) {
+		t.Fatalf("evaluation counts differ: %d vs %d", len(serial.EvaluatedIdx), len(parallel.EvaluatedIdx))
+	}
+	for k := range serial.EvaluatedIdx {
+		if serial.EvaluatedIdx[k] != parallel.EvaluatedIdx[k] {
+			t.Fatalf("evaluation order diverges at step %d: %d vs %d",
+				k, serial.EvaluatedIdx[k], parallel.EvaluatedIdx[k])
+		}
+	}
+	if len(serial.ParetoIdx) != len(parallel.ParetoIdx) {
+		t.Fatalf("pareto sizes differ: %d vs %d", len(serial.ParetoIdx), len(parallel.ParetoIdx))
+	}
+	for k := range serial.ParetoIdx {
+		if serial.ParetoIdx[k] != parallel.ParetoIdx[k] {
+			t.Fatalf("pareto sets differ at position %d: %d vs %d",
+				k, serial.ParetoIdx[k], parallel.ParetoIdx[k])
+		}
+	}
+	for i := range serial.Status {
+		if serial.Status[i] != parallel.Status[i] {
+			t.Fatalf("candidate %d classified %d serially but %d in parallel",
+				i, serial.Status[i], parallel.Status[i])
+		}
+	}
+	for k := range serial.Rho {
+		if serial.Rho[k] != parallel.Rho[k] {
+			t.Fatalf("objective %d learned rho %g serially but %g in parallel",
+				k, serial.Rho[k], parallel.Rho[k])
+		}
+	}
+}

@@ -296,7 +296,8 @@ func TestBatchSkipAndErrorMix(t *testing.T) {
 }
 
 // TestWorkersDefaultsToBatch: the worker pool defaults to one worker per
-// licence (Batch).
+// licence (Batch), but an explicit Workers may exceed Batch — the surplus
+// accelerates the surrogate math even when tool licences are scarce.
 func TestWorkersDefaultsToBatch(t *testing.T) {
 	o := Options{NumObjectives: 2, Batch: 5}
 	o.setDefaults()
@@ -305,8 +306,8 @@ func TestWorkersDefaultsToBatch(t *testing.T) {
 	}
 	o = Options{NumObjectives: 2, Batch: 2, Workers: 9}
 	o.setDefaults()
-	if o.Workers != 2 {
-		t.Errorf("Workers = %d, want clamped to Batch (2)", o.Workers)
+	if o.Workers != 9 {
+		t.Errorf("Workers = %d, want 9 (explicit Workers is not clamped to Batch)", o.Workers)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"ppatuner/internal/gp"
+	"ppatuner/internal/par"
 )
 
 // Evaluator returns the golden QoR objective vector of pool candidate i.
@@ -103,10 +104,14 @@ type Options struct {
 	// diameter over all alive candidates — instead of restricting selection
 	// to the optimistic Pareto frontier. The TCAD'19 baseline uses this.
 	GlobalSelection bool
-	// Workers bounds concurrent tool invocations within one selection batch
-	// (Sec. 3.3: one worker per tool licence). Default: Batch. Only the
-	// evaluator calls run concurrently; surrogate updates stay sequential in
-	// selection order, so results are independent of scheduling.
+	// Workers bounds the tuner's concurrency: tool invocations within one
+	// selection batch (Sec. 3.3: one worker per tool licence), the per-
+	// objective surrogate fits, and the sharded region-update/classification
+	// sweeps over the pool. Default: Batch. It may exceed Batch when the
+	// machine has more cores than tool licences — the extra workers then
+	// speed up the surrogate math only. Every parallel section applies its
+	// results in deterministic order, so any worker count reproduces the
+	// serial run exactly.
 	Workers int
 	// Rng drives the initial design (required).
 	Rng *rand.Rand
@@ -134,7 +139,7 @@ func (o *Options) setDefaults() {
 	if o.InitTarget <= 0 {
 		o.InitTarget = 10
 	}
-	if o.Workers <= 0 || o.Workers > o.Batch {
+	if o.Workers <= 0 {
 		o.Workers = o.Batch
 	}
 }
@@ -354,11 +359,19 @@ func (t *Tuner) initialise(ctx context.Context) error {
 		t.delta[k] = t.opt.DeltaFrac * span
 	}
 
-	// Per-objective transfer GPs.
+	// Per-objective transfer GPs. The objectives are modelled independently
+	// (Sec. 3.2.1), so their builds — including the expensive hyper-parameter
+	// fits — run concurrently when Workers allows. Each goroutine touches
+	// only its own GP and reads shared inputs, and errors are reported in
+	// objective order, so the outcome is identical to the sequential build.
 	dim := len(t.pool[0])
 	kernel := t.opt.Kernel
 	t.gps = make([]*gp.GP, t.opt.NumObjectives)
-	for k := range t.gps {
+	reserve := t.opt.MaxIter * t.opt.Batch
+	if reserve > len(t.pool) {
+		reserve = len(t.pool)
+	}
+	buildGP := func(k int) error {
 		g := gp.New(kernel, dim, t.opt.ARD)
 		if len(t.opt.SourceX) > 0 {
 			if err := g.SetSource(t.opt.SourceX, t.opt.SourceY[k]); err != nil {
@@ -372,6 +385,8 @@ func (t *Tuner) initialise(ctx context.Context) error {
 		if err := g.SetTarget(initX, ys); err != nil {
 			return err
 		}
+		g.ReserveAdds(reserve)
+		g.SetWorkers(t.opt.Workers)
 		if err := g.Fit(gp.FitOptions{MaxEvals: t.opt.FitMaxEvals, Subsample: t.opt.FitSubsample, FixTransfer: t.opt.FixTransfer}); err != nil {
 			return fmt.Errorf("core: initial fit objective %d: %w", k, err)
 		}
@@ -379,6 +394,10 @@ func (t *Tuner) initialise(ctx context.Context) error {
 			return err
 		}
 		t.gps[k] = g
+		return nil
+	}
+	if err := t.eachObjective(buildGP); err != nil {
+		return err
 	}
 
 	// Refit schedule: geometric in target-observation count.
@@ -387,11 +406,50 @@ func (t *Tuner) initialise(ctx context.Context) error {
 	return nil
 }
 
+// eachObjective runs fn(k) for every objective, concurrently when Workers
+// allows. The first error in objective order wins, matching the sequential
+// loop's behaviour.
+func (t *Tuner) eachObjective(fn func(k int) error) error {
+	nk := t.opt.NumObjectives
+	if t.opt.Workers <= 1 || nk <= 1 {
+		for k := 0; k < nk; k++ {
+			if err := fn(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, nk)
+	var wg sync.WaitGroup
+	for k := 0; k < nk; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = fn(k)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // updateRegions intersects each alive candidate's region with the current
-// posterior hyper-rectangle.
+// posterior hyper-rectangle. Candidates touch disjoint state, so the sweep is
+// sharded across Workers goroutines; each candidate's arithmetic is the same
+// as in the serial sweep, so any worker count produces identical regions.
 func (t *Tuner) updateRegions() {
 	beta := math.Sqrt(t.opt.Tau)
-	for i := range t.pool {
+	par.Do(t.opt.Workers, len(t.pool), func(lo, hi int) {
+		t.updateRegionRange(beta, lo, hi)
+	})
+}
+
+func (t *Tuner) updateRegionRange(beta float64, from, to int) {
+	for i := from; i < to; i++ {
 		if !t.status[i].alive() {
 			continue
 		}
@@ -434,49 +492,43 @@ func (t *Tuner) updateRegions() {
 func (t *Tuner) decide() {
 	alive := t.aliveIndices()
 	// Dropping: x is dropped when some alive x' pessimistically δ-dominates
-	// x's optimistic corner.
+	// x's optimistic corner. Each shard decides its own candidates against
+	// the pre-computed skyline and writes only status[i], so the parallel
+	// sweep reaches exactly the serial verdicts.
 	ndHi := t.skyline(alive, t.hi)
-	for _, i := range alive {
-		if t.status[i] != Undecided {
-			continue
-		}
-		for _, j := range ndHi {
-			if i == j {
+	par.Do(t.opt.Workers, len(alive), func(from, to int) {
+		for _, i := range alive[from:to] {
+			if t.status[i] != Undecided {
 				continue
 			}
-			if t.pessDominatesOpt(j, i) {
-				t.status[i] = Dropped
-				break
+			for _, j := range ndHi {
+				if i == j {
+					continue
+				}
+				if t.pessDominatesOpt(j, i) {
+					t.status[i] = Dropped
+					break
+				}
 			}
 		}
-	}
+	})
 	// Classification: x becomes Pareto when no alive x' could still
-	// δ-dominate x's pessimistic corner with its optimistic corner.
+	// δ-dominate x's pessimistic corner with its optimistic corner. The
+	// alive snapshot and skyline are fixed before the sweep, so shards only
+	// read shared state and write their own status entries.
 	alive = t.aliveIndices()
 	ndLo := t.skyline(alive, t.lo)
 	inNdLo := make(map[int]bool, len(ndLo))
 	for _, j := range ndLo {
 		inNdLo[j] = true
 	}
-	for _, i := range alive {
-		if t.status[i] != Undecided {
-			continue
-		}
-		safe := true
-		for _, j := range ndLo {
-			if i == j {
+	par.Do(t.opt.Workers, len(alive), func(from, to int) {
+		for _, i := range alive[from:to] {
+			if t.status[i] != Undecided {
 				continue
 			}
-			if t.optCouldDominatePess(j, i) {
-				safe = false
-				break
-			}
-		}
-		// A skyline member may shadow its own blockers: when i itself is in
-		// the skyline and no other skyline member blocks it, fall back to a
-		// full scan (rare — at most |front| candidates per pass).
-		if safe && inNdLo[i] {
-			for _, j := range alive {
+			safe := true
+			for _, j := range ndLo {
 				if i == j {
 					continue
 				}
@@ -485,11 +537,25 @@ func (t *Tuner) decide() {
 					break
 				}
 			}
+			// A skyline member may shadow its own blockers: when i itself is
+			// in the skyline and no other skyline member blocks it, fall back
+			// to a full scan (rare — at most |front| candidates per pass).
+			if safe && inNdLo[i] {
+				for _, j := range alive {
+					if i == j {
+						continue
+					}
+					if t.optCouldDominatePess(j, i) {
+						safe = false
+						break
+					}
+				}
+			}
+			if safe {
+				t.status[i] = Pareto
+			}
 		}
-		if safe {
-			t.status[i] = Pareto
-		}
-	}
+	})
 }
 
 // skyline returns the indices (subset of idx) whose corner vectors are
@@ -772,12 +838,14 @@ func (t *Tuner) maybeRefit() error {
 	if !due {
 		return nil
 	}
-	for k, g := range t.gps {
-		if err := g.Fit(gp.FitOptions{MaxEvals: t.opt.FitMaxEvals, Subsample: t.opt.FitSubsample, FixTransfer: t.opt.FixTransfer}); err != nil {
+	// The per-objective refits are independent, so they run concurrently
+	// under the same Workers bound as the initial fits.
+	return t.eachObjective(func(k int) error {
+		if err := t.gps[k].Fit(gp.FitOptions{MaxEvals: t.opt.FitMaxEvals, Subsample: t.opt.FitSubsample, FixTransfer: t.opt.FixTransfer}); err != nil {
 			return fmt.Errorf("core: refit objective %d: %w", k, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // nonDominatedEvaluated returns the evaluated points whose golden vectors

@@ -139,6 +139,12 @@ type RunOpts struct {
 	// tuner — the hook for fault-tolerance middleware (robust.Evaluator,
 	// checkpoint caches, chaos injection).
 	Wrap func(core.Evaluator) core.Evaluator
+	// Workers bounds the PPATuner engine's concurrency (surrogate fits,
+	// region sweeps, batched evaluator calls); see core.Options.Workers.
+	// 0 keeps the engine's default. Results are identical for any value —
+	// the parallel sections are deterministic — so this is purely a
+	// wall-clock knob.
+	Workers int
 }
 
 // RunMethod executes one tuner on one scenario and objective space.
@@ -178,6 +184,7 @@ func RunMethodOpts(m Method, s *Scenario, space ObjSpace, seed int64, opts RunOp
 			Tau:         9,
 			ARD:         true,
 			FitMaxEvals: 400,
+			Workers:     opts.Workers,
 			Rng:         rng,
 		})
 		if err != nil {

@@ -86,13 +86,18 @@ func (c *Cov) Eval(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("gp: Eval dim mismatch %d vs %d", len(x), len(y)))
 	}
-	r2 := c.r2(x, y)
+	return c.EvalR2(c.r2(x, y))
+}
+
+// EvalR2 returns the kernel value for a precomputed squared scaled distance
+// r² = Σ ((x_i-y_i)/ℓ_i)². It is the scalar-transform half of Eval used by
+// the fit workspace, which caches pairwise distances across NLML evaluations.
+func (c *Cov) EvalR2(r2 float64) float64 {
 	switch c.Kind {
 	case RBF:
 		return c.Var * math.Exp(-0.5*r2)
 	case Matern52:
-		r := math.Sqrt(r2)
-		s5r := math.Sqrt(5) * r
+		s5r := math.Sqrt(5) * math.Sqrt(r2)
 		return c.Var * (1 + s5r + 5.0/3.0*r2) * math.Exp(-s5r)
 	default:
 		panic("gp: unknown covariance kind")

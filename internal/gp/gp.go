@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"ppatuner/internal/mat"
+	"ppatuner/internal/par"
 )
 
 // GP is an exact Gaussian-process regressor over one QoR metric, optionally
@@ -46,7 +47,37 @@ type GP struct {
 	poolK   [][]float64 // poolK[p][i] = k̃(x_i, pool_p)
 	poolV   [][]float64 // poolV[p]    = L⁻¹ poolK[p]
 	poolKpp []float64   // prior variance k(p,p) + βt⁻¹
+
+	// Reused buffers: the packed Gram workspace and standardised-output /
+	// Extend-row scratch. They make Rebuild and AddTarget allocation-free
+	// once warm (the pool caches above are persistent state, not scratch).
+	gramBuf []float64
+	yBuf    []float64
+	rowBuf  []float64
+
+	// growth is the expected number of future AddTarget calls; Rebuild and
+	// the pool cache size their backing arrays for it so a whole campaign of
+	// incremental adds appends without reallocating (ReserveAdds).
+	growth int
+	// workers bounds the goroutines used for pool-cache rebuilds
+	// (SetWorkers); <=1 keeps everything on the calling goroutine.
+	workers int
 }
+
+// ReserveAdds declares how many future AddTarget observations the posterior
+// should make room for. The next Rebuild (and every pool-cache build) then
+// preallocates Cholesky and per-candidate cache capacity so the incremental
+// updates of a whole tuning campaign append in place.
+func (g *GP) ReserveAdds(n int) {
+	if n > 0 {
+		g.growth = n
+	}
+}
+
+// SetWorkers bounds the worker goroutines used when rebuilding the pool
+// cache. Results are applied per candidate, so any worker count produces
+// bit-identical caches; n <= 1 (the default) stays fully sequential.
+func (g *GP) SetWorkers(n int) { g.workers = n }
 
 // New returns a GP over dim-dimensional inputs with the given covariance
 // family. ard selects per-dimension lengthscales.
@@ -138,7 +169,12 @@ func (g *GP) ktrain(i, j int) float64 {
 // kvecTarget evaluates k̃(x, x_i) for a *target-task* test point against all
 // training points, writing into dst (len N).
 func (g *GP) kvecTarget(x []float64, dst []float64) {
-	rho := g.Rho()
+	g.kvecInto(x, dst, g.Rho())
+}
+
+// kvecInto is kvecTarget with the cross-task factor hoisted by the caller,
+// so sweeps over many test points pay TransferFactor's math.Pow once.
+func (g *GP) kvecInto(x []float64, dst []float64, rho float64) {
 	for i, xi := range g.xs {
 		dst[i] = rho * g.cov.Eval(x, xi)
 	}
@@ -180,14 +216,28 @@ func meanStd(y []float64) (mean, std float64) {
 
 // yStdAll returns all outputs in training order, standardised per task.
 func (g *GP) yStdAll() []float64 {
-	out := make([]float64, 0, g.N())
+	return g.yStdInto(nil)
+}
+
+// yStdInto is yStdAll writing into buf, which is grown (with ReserveAdds
+// headroom) only when too small.
+func (g *GP) yStdInto(buf []float64) []float64 {
+	n := g.N()
+	if cap(buf) < n {
+		buf = make([]float64, n, n+g.growth)
+	} else {
+		buf = buf[:n]
+	}
+	i := 0
 	for _, y := range g.ys {
-		out = append(out, (y-g.yMeanS)/g.yStdS)
+		buf[i] = (y - g.yMeanS) / g.yStdS
+		i++
 	}
 	for _, y := range g.yt {
-		out = append(out, (y-g.yMeanT)/g.yStdT)
+		buf[i] = (y - g.yMeanT) / g.yStdT
+		i++
 	}
-	return out
+	return buf
 }
 
 // gram builds the full noisy Gram matrix K̃ + Λ for the current data and
@@ -211,19 +261,63 @@ func (g *GP) gram() *mat.Matrix {
 	return k
 }
 
+// fillGramPacked writes the packed lower triangle of the full noisy Gram
+// matrix K̃ + Λ into dst (length mat.PackedLen(N)), with the cross-task
+// factor ρ hoisted out of the pair loop.
+func (g *GP) fillGramPacked(dst []float64) {
+	n := g.N()
+	rho := g.Rho()
+	idx := 0
+	for i := 0; i < n; i++ {
+		xi, si := g.trainX(i)
+		for j := 0; j <= i; j++ {
+			xj, sj := g.trainX(j)
+			v := g.cov.Eval(xi, xj)
+			if si != sj {
+				v *= rho
+			}
+			dst[idx] = v
+			idx++
+		}
+		if si {
+			dst[idx-1] += g.noiseS
+		} else {
+			dst[idx-1] += g.noiseT
+		}
+		dst[idx-1] += 1e-8 // numerical jitter
+	}
+}
+
 // Rebuild refactorises the posterior from scratch for the current data and
 // hyper-parameters, and recomputes the pool cache if a pool is attached.
+// All posterior buffers (packed Gram, Cholesky, alpha) are reused, with
+// ReserveAdds headroom so the incremental updates that follow append in
+// place.
 func (g *GP) Rebuild() error {
-	if g.N() == 0 {
+	n := g.N()
+	if n == 0 {
 		return errors.New("gp: no training data")
 	}
 	g.standardise()
-	ch, err := mat.CholeskyWithJitter(g.gram(), 1e-8, 8)
-	if err != nil {
+	np := mat.PackedLen(n)
+	if cap(g.gramBuf) < np {
+		g.gramBuf = make([]float64, np, mat.PackedLen(n+g.growth))
+	}
+	g.gramBuf = g.gramBuf[:np]
+	g.fillGramPacked(g.gramBuf)
+	if g.chol == nil {
+		g.chol = &mat.Cholesky{}
+	}
+	g.chol.Reserve(n + g.growth)
+	if err := g.chol.FactorizePacked(g.gramBuf, n, 1e-8, 8); err != nil {
 		return fmt.Errorf("gp: posterior factorisation: %w", err)
 	}
-	g.chol = ch
-	g.alpha = ch.Solve(g.yStdAll())
+	g.yBuf = g.yStdInto(g.yBuf)
+	if cap(g.alpha) < n {
+		g.alpha = make([]float64, n, n+g.growth)
+	}
+	g.alpha = g.alpha[:n]
+	g.chol.SolveInto(g.alpha, g.yBuf)
 	if g.pool != nil {
 		g.rebuildPool()
 	}
@@ -242,15 +336,11 @@ func (g *GP) AddTarget(x []float64, y float64) error {
 		return g.Rebuild()
 	}
 	n := g.N()
-	row := make([]float64, n+1)
-	rho := g.Rho()
-	for i, xi := range g.xs {
-		row[i] = rho * g.cov.Eval(x, xi)
+	if cap(g.rowBuf) < n+1 {
+		g.rowBuf = make([]float64, n+1, n+1+g.growth)
 	}
-	off := len(g.xs)
-	for i, xi := range g.xt {
-		row[off+i] = g.cov.Eval(x, xi)
-	}
+	row := g.rowBuf[:n+1]
+	g.kvecInto(x, row[:n], g.Rho())
 	row[n] = g.cov.Eval(x, x) + g.noiseT + 1e-8
 	if err := g.chol.Extend([][]float64{row}); err != nil {
 		// Degenerate extension (e.g. duplicate point): fall back to a full
@@ -262,20 +352,23 @@ func (g *GP) AddTarget(x []float64, y float64) error {
 	}
 	g.xt = append(g.xt, x)
 	g.yt = append(g.yt, y)
-	g.alpha = g.chol.Solve(g.yStdAll())
+	g.yBuf = append(g.yBuf, (y-g.yMeanT)/g.yStdT)
+	if cap(g.alpha) < n+1 {
+		g.alpha = make([]float64, n+1, n+1+g.growth)
+	}
+	g.alpha = g.alpha[:n+1]
+	g.chol.SolveInto(g.alpha, g.yBuf)
 
-	// Extend the pool cache with one entry per candidate.
+	// Extend the pool cache with one entry per candidate. AttachPool sized
+	// the per-candidate columns with ReserveAdds headroom, so these appends
+	// stay in place for a whole campaign.
 	if g.pool != nil {
 		ln := g.chol.LRow(n)
 		for p, xp := range g.pool {
 			kp := g.cov.Eval(x, xp)
-			col := append(g.poolK[p], kp)
-			g.poolK[p] = col
-			v := kp
+			g.poolK[p] = append(g.poolK[p], kp)
 			vp := g.poolV[p]
-			for k := 0; k < n; k++ {
-				v -= ln[k] * vp[k]
-			}
+			v := kp - mat.Dot(ln[:n], vp)
 			g.poolV[p] = append(vp, v/ln[n])
 		}
 	}
@@ -299,20 +392,41 @@ func (g *GP) AttachPool(pool [][]float64) error {
 	return nil
 }
 
+// rebuildPool recomputes the per-candidate kernel columns and solve vectors.
+// Candidates are sharded across SetWorkers goroutines; every worker writes
+// only its own candidates' slots and the per-candidate arithmetic is
+// identical in any sharding, so the cache is bit-identical for any worker
+// count. Existing per-candidate buffers are reused when the training size
+// still fits (a refit at constant N allocates nothing).
 func (g *GP) rebuildPool() {
 	n := g.N()
-	g.poolK = make([][]float64, len(g.pool))
-	g.poolV = make([][]float64, len(g.pool))
-	g.poolKpp = make([]float64, len(g.pool))
-	buf := make([]float64, n)
-	for p, xp := range g.pool {
-		g.kvecTarget(xp, buf)
-		col := make([]float64, n, n+64)
-		copy(col, buf)
-		g.poolK[p] = col
-		g.poolV[p] = g.chol.SolveL(col)
-		g.poolKpp[p] = g.cov.Eval(xp, xp) + g.noiseT
+	m := len(g.pool)
+	if len(g.poolK) != m {
+		g.poolK = make([][]float64, m)
+		g.poolV = make([][]float64, m)
+		g.poolKpp = make([]float64, m)
 	}
+	rho := g.Rho()
+	par.Do(g.workers, m, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			xp := g.pool[p]
+			col := g.poolK[p]
+			if cap(col) < n {
+				col = make([]float64, n, n+g.growth)
+			}
+			col = col[:n]
+			g.kvecInto(xp, col, rho)
+			g.poolK[p] = col
+			v := g.poolV[p]
+			if cap(v) < n {
+				v = make([]float64, n, n+g.growth)
+			}
+			v = v[:n]
+			g.chol.SolveLInto(v, col)
+			g.poolV[p] = v
+			g.poolKpp[p] = g.cov.Eval(xp, xp) + g.noiseT
+		}
+	})
 }
 
 // PredictPool returns the posterior mean and standard deviation (in raw
@@ -354,13 +468,7 @@ func (g *GP) NLML() float64 {
 	if n == 0 {
 		return math.Inf(1)
 	}
-	ch, err := mat.CholeskyWithJitter(g.gram(), 1e-8, 6)
-	if err != nil {
-		return math.Inf(1)
-	}
-	y := g.yStdAll()
-	alpha := ch.Solve(y)
-	return 0.5*mat.Dot(y, alpha) + 0.5*ch.LogDet() + 0.5*float64(n)*math.Log(2*math.Pi)
+	return newFitWS(g).nlml(g)
 }
 
 // FitOptions bounds the hyper-parameter search.
@@ -431,6 +539,10 @@ func (g *GP) Fit(opts FitOptions) error {
 	// winning hyper-parameters are copied back to g before the full rebuild.
 	work := g.subsampled(opts.Subsample)
 	work.standardise()
+	// The workspace caches pairwise distances and standardised outputs once;
+	// every Nelder–Mead evaluation below is then a scalar transform plus one
+	// packed factorisation into reused buffers.
+	ws := newFitWS(work)
 	pack := func() []float64 {
 		h := g.cov.hyper()
 		h = append(h, math.Log(g.noiseT))
@@ -482,7 +594,7 @@ func (g *GP) Fit(opts FitOptions) error {
 		}
 		dv := math.Log(work.cov.Var) / 2.0
 		penalty += 0.5 * dv * dv
-		return work.NLML() + penalty
+		return ws.nlml(work) + penalty
 	}
 	// Multi-start: the marginal-likelihood surface is shallow along the
 	// transfer-dissimilarity direction, so a single simplex run can stall

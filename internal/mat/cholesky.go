@@ -1,6 +1,8 @@
 package mat
 
 import (
+	"ppatuner/internal/simd"
+
 	"errors"
 	"fmt"
 	"math"
@@ -16,12 +18,24 @@ var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
 // columns to A updates L in O(n²k) instead of refactorising in O((n+k)³).
 // This is the operation that makes PAL-style active-learning loops cheap —
 // each tool evaluation appends one row to the Gram matrix.
+//
+// L lives in a single flat backing array in packed row-major order (row i
+// starts at i(i+1)/2 and has i+1 entries), so a full factorisation walks
+// contiguous memory and Extend is an append. Reserve pre-sizes the backing
+// array for a known number of future Extend calls so a whole campaign of
+// incremental updates never reallocates.
 type Cholesky struct {
 	n int
-	// l stores the lower triangle row-by-row: row i has i+1 entries.
-	// Packed storage keeps Extend cheap (no reallocation of a square matrix).
-	l [][]float64
+	// l is the packed lower triangle: row i occupies l[rowOff(i):rowOff(i)+i+1].
+	l []float64
 }
+
+// rowOff returns the offset of row i in the packed lower-triangular layout.
+func rowOff(i int) int { return i * (i + 1) / 2 }
+
+// PackedLen returns the number of entries in the packed lower triangle of an
+// n×n matrix, i.e. the length callers must size packed buffers to.
+func PackedLen(n int) int { return rowOff(n) }
 
 // NewCholesky factorises the symmetric positive-definite matrix a.
 // Only the lower triangle of a is read.
@@ -30,22 +44,110 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
 	}
 	c := &Cholesky{}
-	rows := make([][]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		rows[i] = a.Data[i*a.Cols : i*a.Cols+i+1]
+	c.packFrom(a, 0)
+	if piv, d, ok := c.factorRows(0, a.Rows); !ok {
+		c.reset(0)
+		return nil, fmt.Errorf("%w (pivot %d: %g)", ErrNotPositiveDefinite, piv, d)
 	}
-	if err := c.extendPacked(rows); err != nil {
-		return nil, err
-	}
+	c.n = a.Rows
 	return c, nil
+}
+
+// packFrom copies the lower triangle of a into c.l (resized to fit) and adds
+// jitter to every diagonal entry.
+func (c *Cholesky) packFrom(a *Matrix, jitter float64) {
+	n := a.Rows
+	c.resize(n)
+	idx := 0
+	for i := 0; i < n; i++ {
+		copy(c.l[idx:idx+i+1], a.Data[i*a.Cols:i*a.Cols+i+1])
+		idx += i + 1
+		c.l[idx-1] += jitter
+	}
+}
+
+// resize sets len(c.l) = PackedLen(n), reusing capacity when possible.
+func (c *Cholesky) resize(n int) {
+	need := rowOff(n)
+	if cap(c.l) >= need {
+		c.l = c.l[:need]
+	} else {
+		c.l = make([]float64, need)
+	}
+}
+
+// reset truncates the factor back to n rows (rollback aid).
+func (c *Cholesky) reset(n int) {
+	c.l = c.l[:rowOff(n)]
+	c.n = n
+}
+
+// Reserve grows the backing array's capacity to hold an n×n factor without
+// changing the current contents, so future Extend calls up to dimension n
+// append in place instead of reallocating.
+func (c *Cholesky) Reserve(n int) {
+	if need := rowOff(n); cap(c.l) < need {
+		nl := make([]float64, len(c.l), need)
+		copy(nl, c.l)
+		c.l = nl
+	}
 }
 
 // Size returns the current dimension of the factorised matrix.
 func (c *Cholesky) Size() int { return c.n }
 
 // LRow returns row i of the factor L (length i+1). The slice is a view; do
-// not modify it.
-func (c *Cholesky) LRow(i int) []float64 { return c.l[i] }
+// not modify it. Views are invalidated by the next Extend/Factorize call.
+func (c *Cholesky) LRow(i int) []float64 {
+	off := rowOff(i)
+	return c.l[off : off+i+1]
+}
+
+// factorRows runs the left-looking Cholesky recurrence over rows
+// [start, end), which must already hold the packed source values of A; rows
+// before start must already be factored. Columns are processed four at a time
+// through the dot4 kernel so the inner loop runs at SIMD speed where
+// available. On a non-positive pivot it stops and reports the row and pivot
+// value; rows before start are untouched either way.
+func (c *Cholesky) factorRows(start, end int) (pivot int, d float64, ok bool) {
+	l := c.l
+	for i := start; i < end; i++ {
+		off := rowOff(i)
+		row := l[off : off+i+1]
+		j := 0
+		for ; j+4 <= i; j += 4 {
+			c0 := l[rowOff(j):]
+			c1 := l[rowOff(j+1):]
+			c2 := l[rowOff(j+2):]
+			c3 := l[rowOff(j+3):]
+			s0, s1, s2, s3 := simd.Dot4(row, c0, c1, c2, c3, j)
+			// The four columns couple triangularly: each solved entry feeds
+			// the dots of the columns to its right (the k ∈ [j, j+3) terms
+			// dot4 could not see).
+			v0 := (row[j] - s0) / c0[j]
+			row[j] = v0
+			s1 += v0 * c1[j]
+			v1 := (row[j+1] - s1) / c1[j+1]
+			row[j+1] = v1
+			s2 += v0*c2[j] + v1*c2[j+1]
+			v2 := (row[j+2] - s2) / c2[j+2]
+			row[j+2] = v2
+			s3 += v0*c3[j] + v1*c3[j+1] + v2*c3[j+2]
+			row[j+3] = (row[j+3] - s3) / c3[j+3]
+		}
+		for ; j < i; j++ {
+			jo := rowOff(j)
+			lj := l[jo : jo+j+1]
+			row[j] = (row[j] - simd.DotUnroll(row[:j], lj[:j])) / lj[j]
+		}
+		diag := row[i] - simd.DotUnroll(row[:i], row[:i])
+		if diag <= 0 {
+			return i, diag, false
+		}
+		row[i] = math.Sqrt(diag)
+	}
+	return 0, 0, true
+}
 
 // Extend appends the rows newRows to the factor. newRows[i] must contain the
 // lower-triangular part of the appended rows of A: its length must be
@@ -57,89 +159,121 @@ func (c *Cholesky) Extend(newRows [][]float64) error {
 			return fmt.Errorf("mat: Extend row %d has length %d, want %d", i, len(row), c.n+i+1)
 		}
 	}
-	return c.extendPacked(newRows)
-}
-
-func (c *Cholesky) extendPacked(newRows [][]float64) error {
 	start := c.n
+	end := start + len(newRows)
+	c.Reserve(end)
+	c.l = c.l[:rowOff(end)]
+	idx := rowOff(start)
 	for _, src := range newRows {
-		i := c.n
-		row := make([]float64, i+1)
-		copy(row, src)
-		// Standard Cholesky row computation against all existing rows.
-		for j := 0; j <= i; j++ {
-			lj := row
-			if j < i {
-				lj = c.l[j]
-			}
-			sum := row[j]
-			for k := 0; k < j; k++ {
-				sum -= row[k] * lj[k]
-			}
-			if j == i {
-				if sum <= 0 {
-					// Roll back any rows appended in this call so the factor
-					// stays consistent.
-					c.l = c.l[:start]
-					c.n = start
-					return fmt.Errorf("%w (pivot %d: %g)", ErrNotPositiveDefinite, i, sum)
-				}
-				row[i] = math.Sqrt(sum)
-			} else {
-				row[j] = sum / lj[j]
-			}
-		}
-		c.l = append(c.l, row)
-		c.n++
+		copy(c.l[idx:idx+len(src)], src)
+		idx += len(src)
 	}
+	if piv, d, ok := c.factorRows(start, end); !ok {
+		// Roll back any rows appended in this call so the factor stays
+		// consistent.
+		c.reset(start)
+		return fmt.Errorf("%w (pivot %d: %g)", ErrNotPositiveDefinite, piv, d)
+	}
+	c.n = end
 	return nil
 }
 
-// SolveL solves L x = b in place of a copy and returns x.
-func (c *Cholesky) SolveL(b []float64) []float64 {
-	if len(b) != c.n {
-		panic(fmt.Sprintf("mat: SolveL length %d, want %d", len(b), c.n))
+// FactorizePacked refactorises the receiver from the packed lower triangle a
+// of an n×n matrix (length PackedLen(n)), reusing the receiver's backing
+// array so repeated refactorisations allocate nothing. On a non-positive
+// pivot it retries with jitter·10^attempt added to the diagonal, up to
+// maxAttempts times, mirroring CholeskyWithJitter. a is never modified.
+func (c *Cholesky) FactorizePacked(a []float64, n int, jitter float64, maxAttempts int) error {
+	if len(a) != rowOff(n) {
+		return fmt.Errorf("mat: FactorizePacked got %d entries, want %d", len(a), rowOff(n))
 	}
-	x := make([]float64, c.n)
-	for i := 0; i < c.n; i++ {
-		li := c.l[i]
-		sum := b[i]
-		for k := 0; k < i; k++ {
-			sum -= li[k] * x[k]
+	var lastPiv int
+	var lastD float64
+	for attempt := -1; attempt < maxAttempts; attempt++ {
+		c.resize(n)
+		copy(c.l, a)
+		if attempt >= 0 {
+			add := jitter * math.Pow(10, float64(attempt))
+			for i := 0; i < n; i++ {
+				c.l[rowOff(i)+i] += add
+			}
 		}
-		x[i] = sum / li[i]
+		piv, d, ok := c.factorRows(0, n)
+		if ok {
+			c.n = n
+			return nil
+		}
+		lastPiv, lastD = piv, d
 	}
+	c.reset(0)
+	return fmt.Errorf("%w (pivot %d: %g)", ErrNotPositiveDefinite, lastPiv, lastD)
+}
+
+// SolveLInto solves L x = b into x, which must have length Size() and may
+// alias b.
+func (c *Cholesky) SolveLInto(x, b []float64) {
+	if len(b) != c.n || len(x) != c.n {
+		panic(fmt.Sprintf("mat: SolveLInto lengths %d/%d, want %d", len(x), len(b), c.n))
+	}
+	for i := 0; i < c.n; i++ {
+		off := rowOff(i)
+		li := c.l[off : off+i+1]
+		x[i] = (b[i] - simd.DotUnroll(li[:i], x[:i])) / li[i]
+	}
+}
+
+// SolveL solves L x = b and returns a freshly allocated x.
+func (c *Cholesky) SolveL(b []float64) []float64 {
+	x := make([]float64, c.n)
+	c.SolveLInto(x, b)
 	return x
 }
 
-// SolveLT solves Lᵀ x = b and returns x.
-func (c *Cholesky) SolveLT(b []float64) []float64 {
-	if len(b) != c.n {
-		panic(fmt.Sprintf("mat: SolveLT length %d, want %d", len(b), c.n))
+// SolveLTInto solves Lᵀ x = b into x, which must have length Size() and may
+// alias b.
+func (c *Cholesky) SolveLTInto(x, b []float64) {
+	if len(b) != c.n || len(x) != c.n {
+		panic(fmt.Sprintf("mat: SolveLTInto lengths %d/%d, want %d", len(x), len(b), c.n))
 	}
-	x := make([]float64, c.n)
 	copy(x, b)
 	for i := c.n - 1; i >= 0; i-- {
-		x[i] /= c.l[i][i]
+		off := rowOff(i)
+		li := c.l[off : off+i+1]
+		x[i] /= li[i]
 		xi := x[i]
 		// Subtract column i of L from the remaining rhs entries.
 		for k := 0; k < i; k++ {
-			x[k] -= c.l[i][k] * xi
+			x[k] -= li[k] * xi
 		}
 	}
+}
+
+// SolveLT solves Lᵀ x = b and returns a freshly allocated x.
+func (c *Cholesky) SolveLT(b []float64) []float64 {
+	x := make([]float64, c.n)
+	c.SolveLTInto(x, b)
 	return x
 }
 
-// Solve solves A x = b via the factor (two triangular solves).
+// SolveInto solves A x = b into x via the factor (two triangular solves).
+// x may alias b.
+func (c *Cholesky) SolveInto(x, b []float64) {
+	c.SolveLInto(x, b)
+	c.SolveLTInto(x, x)
+}
+
+// Solve solves A x = b via the factor and returns a freshly allocated x.
 func (c *Cholesky) Solve(b []float64) []float64 {
-	return c.SolveLT(c.SolveL(b))
+	x := make([]float64, c.n)
+	c.SolveInto(x, b)
+	return x
 }
 
 // LogDet returns log|A| = 2 Σ log L_ii.
 func (c *Cholesky) LogDet() float64 {
 	var s float64
 	for i := 0; i < c.n; i++ {
-		s += math.Log(c.l[i][i])
+		s += math.Log(c.l[rowOff(i)+i])
 	}
 	return 2 * s
 }
@@ -149,31 +283,35 @@ func (c *Cholesky) LogDet() float64 {
 // first len(x) rows; bTail supplies b entries for rows len(x)..Size()-1.
 // It returns the full solution of length Size().
 func (c *Cholesky) ExtendSolveL(x []float64, bTail []float64) []float64 {
-	if len(x)+len(bTail) != c.n {
+	out := make([]float64, c.n)
+	c.ExtendSolveLInto(out, x, bTail)
+	return out
+}
+
+// ExtendSolveLInto is ExtendSolveL writing into out (length Size()), which
+// may alias x's backing array (out[:len(x)] is only read after being copied).
+func (c *Cholesky) ExtendSolveLInto(out, x, bTail []float64) {
+	if len(x)+len(bTail) != c.n || len(out) != c.n {
 		panic(fmt.Sprintf("mat: ExtendSolveL %d+%d != %d", len(x), len(bTail), c.n))
 	}
-	out := make([]float64, c.n)
 	copy(out, x)
 	for i := len(x); i < c.n; i++ {
-		li := c.l[i]
-		sum := bTail[i-len(x)]
-		for k := 0; k < i; k++ {
-			sum -= li[k] * out[k]
-		}
-		out[i] = sum / li[i]
+		off := rowOff(i)
+		li := c.l[off : off+i+1]
+		out[i] = (bTail[i-len(x)] - simd.DotUnroll(li[:i], out[:i])) / li[i]
 	}
-	return out
 }
 
 // Reconstruct multiplies L Lᵀ back into a dense matrix (testing aid).
 func (c *Cholesky) Reconstruct() *Matrix {
 	a := NewMatrix(c.n, c.n)
 	for i := 0; i < c.n; i++ {
+		li := c.LRow(i)
 		for j := 0; j <= i; j++ {
+			lj := c.LRow(j)
 			var s float64
-			m := j
-			for k := 0; k <= m; k++ {
-				s += c.l[i][k] * c.l[j][k]
+			for k := 0; k <= j; k++ {
+				s += li[k] * lj[k]
 			}
 			a.Set(i, j, s)
 			a.Set(j, i, s)
@@ -197,19 +335,25 @@ func SolveSPD(a *Matrix, b []float64) ([]float64, *Cholesky, error) {
 // CholeskyWithJitter attempts NewCholesky, adding jitter·10^attempt to the
 // diagonal on failure, up to maxAttempts times.
 func CholeskyWithJitter(a *Matrix, jitter float64, maxAttempts int) (*Cholesky, error) {
-	ch, err := NewCholesky(a)
-	if err == nil {
-		return ch, nil
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
 	}
-	work := a.Clone()
+	c := &Cholesky{}
+	var lastPiv int
+	var lastD float64
 	added := 0.0
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		add := jitter*math.Pow(10, float64(attempt)) - added
-		work.AddDiag(add)
-		added += add
-		if ch, err = NewCholesky(work); err == nil {
-			return ch, nil
+	for attempt := -1; attempt < maxAttempts; attempt++ {
+		if attempt >= 0 {
+			added = jitter * math.Pow(10, float64(attempt))
 		}
+		c.packFrom(a, added)
+		piv, d, ok := c.factorRows(0, a.Rows)
+		if ok {
+			c.n = a.Rows
+			return c, nil
+		}
+		lastPiv, lastD = piv, d
 	}
-	return nil, err
+	c.reset(0)
+	return nil, fmt.Errorf("%w (pivot %d: %g)", ErrNotPositiveDefinite, lastPiv, lastD)
 }

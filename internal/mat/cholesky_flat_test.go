@@ -1,0 +1,263 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveCholesky is the textbook per-row-slice factorisation the flat layout
+// replaced. It is the reference the flat factor must match entry for entry.
+func naiveCholesky(a *Matrix) ([][]float64, bool) {
+	l := make([][]float64, 0, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := make([]float64, i+1)
+		copy(row, a.Data[i*a.Cols:i*a.Cols+i+1])
+		for j := 0; j <= i; j++ {
+			lj := row
+			if j < i {
+				lj = l[j]
+			}
+			sum := row[j]
+			for k := 0; k < j; k++ {
+				sum -= row[k] * lj[k]
+			}
+			if j == i {
+				if sum <= 0 {
+					return nil, false
+				}
+				row[i] = math.Sqrt(sum)
+			} else {
+				row[j] = sum / lj[j]
+			}
+		}
+		l = append(l, row)
+	}
+	return l, true
+}
+
+// TestFlatMatchesNaive checks the flat blocked factor against the textbook
+// per-row recurrence across sizes that exercise every block-remainder path
+// (dot4 main loop, <4-column leftovers, scalar tails).
+func TestFlatMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13, 33, 64, 127, 200} {
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref, ok := naiveCholesky(a)
+		if !ok {
+			t.Fatalf("n=%d: naive factorisation failed", n)
+		}
+		for i := 0; i < n; i++ {
+			row := ch.LRow(i)
+			for j := 0; j <= i; j++ {
+				if d := math.Abs(row[j] - ref[i][j]); d > 1e-9*(1+math.Abs(ref[i][j])) {
+					t.Fatalf("n=%d L[%d][%d]: flat %g naive %g", n, i, j, row[j], ref[i][j])
+				}
+			}
+		}
+		// Round-trip through Reconstruct as an independent check.
+		if d := MaxAbsDiff(ch.Reconstruct(), a); d > 1e-8 {
+			t.Fatalf("n=%d: reconstruct error %g", n, d)
+		}
+	}
+}
+
+// TestFactorizePackedMatchesNew checks that the zero-allocation refit path
+// produces the same factor as a fresh NewCholesky, and that re-using the
+// receiver across different matrices and sizes is safe.
+func TestFactorizePackedMatchesNew(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var ws Cholesky
+	for _, n := range []int{50, 20, 61} { // shrink then grow: exercises resize
+		a := randomSPD(rng, n)
+		packed := make([]float64, PackedLen(n))
+		for i := 0; i < n; i++ {
+			copy(packed[rowOff(i):rowOff(i)+i+1], a.Data[i*a.Cols:i*a.Cols+i+1])
+		}
+		if err := ws.FactorizePacked(packed, n, 1e-8, 6); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			got, want := ws.LRow(i), ref.LRow(i)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("n=%d L[%d][%d]: packed %g fresh %g", n, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFactorizePackedJitterRecovers feeds a singular matrix and checks the
+// jitter ladder rescues it, matching CholeskyWithJitter's behaviour.
+func TestFactorizePackedJitterRecovers(t *testing.T) {
+	// Rank-1: x xᵀ with x = (1,2,3) — singular, needs jitter.
+	x := []float64{1, 2, 3}
+	n := len(x)
+	packed := make([]float64, PackedLen(n))
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			packed[rowOff(i)+j] = x[i] * x[j]
+		}
+	}
+	var ws Cholesky
+	if err := ws.FactorizePacked(packed, n, 1e-8, 6); err != nil {
+		t.Fatalf("jitter did not recover: %v", err)
+	}
+	if ws.Size() != n {
+		t.Fatalf("size %d after recovery, want %d", ws.Size(), n)
+	}
+	// With no attempts allowed it must fail and leave an empty factor.
+	if err := ws.FactorizePacked(packed, n, 0, 0); err == nil {
+		t.Fatal("expected failure with maxAttempts=0")
+	}
+	if ws.Size() != 0 {
+		t.Fatalf("size %d after failure, want 0", ws.Size())
+	}
+}
+
+// TestExtendRollbackFlat appends two rows where the second has a non-PD
+// pivot and verifies the flat factor truncates back to its pre-Extend state,
+// byte for byte, and still solves correctly afterwards.
+func TestExtendRollbackFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSPD(rng, 6)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]float64, len(ch.l))
+	copy(before, ch.l)
+
+	// First appended row is fine; the second duplicates the first appended
+	// point exactly but with its diagonal reduced, which forces the pivot
+	// negative (a duplicated point gives pivot 0 in exact arithmetic).
+	good := make([]float64, 7)
+	for j := 0; j < 6; j++ {
+		good[j] = a.At(0, j) * 0.5
+	}
+	good[6] = a.At(0, 0) + 1 // safely dominant diagonal
+	bad := make([]float64, 8)
+	copy(bad, good[:6])
+	bad[6] = good[6]
+	bad[7] = good[6] - 1e-6
+
+	if err := ch.Extend([][]float64{good, bad}); err == nil {
+		t.Fatal("expected non-PD failure")
+	}
+	if ch.Size() != 6 {
+		t.Fatalf("size %d after rollback, want 6", ch.Size())
+	}
+	if len(ch.l) != len(before) {
+		t.Fatalf("backing length %d after rollback, want %d", len(ch.l), len(before))
+	}
+	for i := range before {
+		if ch.l[i] != before[i] {
+			t.Fatalf("backing[%d] changed across rollback: %g vs %g", i, ch.l[i], before[i])
+		}
+	}
+	// The factor must still be usable.
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	got := ch.Solve(b)
+	res := MulVec(a, got)
+	for i := range b {
+		if math.Abs(res[i]-b[i]) > 1e-8 {
+			t.Fatalf("solve after rollback: residual %g at %d", res[i]-b[i], i)
+		}
+	}
+}
+
+// TestReserveNoRealloc checks that after Reserve(n) a campaign of Extend
+// calls up to dimension n never moves the backing array.
+func TestReserveNoRealloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const start, final = 8, 40
+	a := randomSPD(rng, final)
+	sub := NewMatrix(start, start)
+	for i := 0; i < start; i++ {
+		for j := 0; j < start; j++ {
+			sub.Set(i, j, a.At(i, j))
+		}
+	}
+	ch, err := NewCholesky(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Reserve(final)
+	base := &ch.l[0]
+	for n := start; n < final; n++ {
+		row := make([]float64, n+1)
+		for j := 0; j <= n; j++ {
+			row[j] = a.At(n, j)
+		}
+		if err := ch.Extend([][]float64{row}); err != nil {
+			t.Fatalf("extend to %d: %v", n+1, err)
+		}
+		if &ch.l[0] != base {
+			t.Fatalf("backing array moved at n=%d despite Reserve", n+1)
+		}
+	}
+	if d := MaxAbsDiff(ch.Reconstruct(), a); d > 1e-7 {
+		t.Fatalf("reconstruct after reserved extends: error %g", d)
+	}
+}
+
+// TestSolveIntoAliasing checks the Into solve variants tolerate x aliasing b.
+func TestSolveIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomSPD(rng, 17)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 17)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := ch.Solve(b)
+	got := make([]float64, len(b))
+	copy(got, b)
+	ch.SolveInto(got, got) // aliased
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aliased SolveInto differs at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	wantL := ch.SolveL(b)
+	gotL := make([]float64, len(b))
+	copy(gotL, b)
+	ch.SolveLInto(gotL, gotL)
+	for i := range wantL {
+		if gotL[i] != wantL[i] {
+			t.Fatalf("aliased SolveLInto differs at %d: %g vs %g", i, gotL[i], wantL[i])
+		}
+	}
+}
+
+func BenchmarkFactorizePacked200(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomSPD(rng, 200)
+	packed := make([]float64, PackedLen(200))
+	for i := 0; i < 200; i++ {
+		copy(packed[rowOff(i):rowOff(i)+i+1], a.Data[i*a.Cols:i*a.Cols+i+1])
+	}
+	var ws Cholesky
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.FactorizePacked(packed, 200, 1e-8, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,8 @@ package mat
 import (
 	"fmt"
 	"math"
+
+	"ppatuner/internal/simd"
 )
 
 // Matrix is a dense row-major matrix.
@@ -108,11 +110,7 @@ func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
+	return simd.DotUnroll(a, b)
 }
 
 // Norm2 returns the Euclidean norm of v.

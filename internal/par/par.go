@@ -1,0 +1,40 @@
+// Package par provides the bounded fork-join helper behind the tuner's
+// multicore paths. Work is split into contiguous index ranges, one per
+// worker, so a parallel run touches exactly the same elements in exactly the
+// same per-element order as a serial one — callers that write only to
+// disjoint per-index slots therefore produce bit-identical results for any
+// worker count, which is the determinism contract the tuner's tests pin.
+package par
+
+import "sync"
+
+// Do partitions [0, n) into at most `workers` contiguous ranges and calls
+// fn(lo, hi) for each, concurrently when workers > 1. fn must be safe to run
+// concurrently with itself on disjoint ranges. workers <= 1 (or n <= 1) runs
+// fn(0, n) on the calling goroutine with zero overhead.
+func Do(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

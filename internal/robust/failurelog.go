@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 )
@@ -58,6 +59,20 @@ type Event struct {
 type FailureLog struct {
 	mu     sync.Mutex
 	events []Event
+	logger *slog.Logger
+}
+
+// Stream attaches a structured logger: every subsequent failure event is
+// emitted through it as it is recorded, in addition to being accumulated for
+// the post-run digest. A nil logger (or nil receiver) turns streaming off.
+// Operators tail these records live instead of waiting for Summary.
+func (l *FailureLog) Stream(logger *slog.Logger) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.logger = logger
+	l.mu.Unlock()
 }
 
 func (l *FailureLog) add(ev Event) {
@@ -66,7 +81,21 @@ func (l *FailureLog) add(ev Event) {
 	}
 	l.mu.Lock()
 	l.events = append(l.events, ev)
+	logger := l.logger
 	l.mu.Unlock()
+	if logger != nil {
+		level := slog.LevelWarn
+		if ev.Terminal {
+			level = slog.LevelError
+		}
+		logger.Log(context.Background(), level, "evaluation failure",
+			"candidate", ev.Index,
+			"attempt", ev.Attempt,
+			"kind", string(ev.Kind),
+			"terminal", ev.Terminal,
+			"err", ev.Err,
+		)
+	}
 }
 
 // Events returns a copy of the recorded events in order.

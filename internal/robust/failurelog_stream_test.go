@@ -1,0 +1,73 @@
+package robust
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestFailureLogStreamsStructuredEvents: a streamed logger receives one JSON
+// record per failure attempt, with the terminal attempt escalated to error
+// level, while the in-memory digest keeps working unchanged.
+func TestFailureLogStreamsStructuredEvents(t *testing.T) {
+	var buf bytes.Buffer
+	log := &FailureLog{}
+	log.Stream(slog.New(slog.NewJSONHandler(&buf, nil)))
+
+	tool := func(_ context.Context, i int) ([]float64, error) {
+		return nil, errors.New("licence checkout failed")
+	}
+	ns := &noSleep{}
+	e, err := New(context.Background(), tool, Options{
+		MaxRetries: 1, NumObjectives: 2, Policy: PolicySkip, Sleep: ns.sleep, Log: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(13); err == nil {
+		t.Fatal("expected the exhausted candidate to fail")
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("streamed %d records, want 2 (one per attempt):\n%s", len(lines), buf.String())
+	}
+	wantLevel := []string{"WARN", "ERROR"}
+	wantTerminal := []bool{false, true}
+	for a, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("record %d is not JSON: %v\n%s", a, err, line)
+		}
+		if rec["level"] != wantLevel[a] {
+			t.Errorf("record %d level = %v, want %s", a, rec["level"], wantLevel[a])
+		}
+		if rec["terminal"] != wantTerminal[a] {
+			t.Errorf("record %d terminal = %v, want %v", a, rec["terminal"], wantTerminal[a])
+		}
+		if rec["candidate"] != float64(13) {
+			t.Errorf("record %d candidate = %v, want 13", a, rec["candidate"])
+		}
+		if rec["attempt"] != float64(a) {
+			t.Errorf("record %d attempt = %v, want %d", a, rec["attempt"], a)
+		}
+		if rec["kind"] != string(KindError) {
+			t.Errorf("record %d kind = %v, want %s", a, rec["kind"], KindError)
+		}
+	}
+	// The accumulated digest is unaffected by streaming.
+	if log.Len() != 2 || log.Terminal() != 1 {
+		t.Errorf("digest: %s", log.Summary())
+	}
+	// Detaching stops the stream.
+	log.Stream(nil)
+	mark := buf.Len()
+	log.add(Event{Index: 1, Kind: KindError})
+	if buf.Len() != mark {
+		t.Error("events still streamed after detaching the logger")
+	}
+}

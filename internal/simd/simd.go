@@ -1,0 +1,73 @@
+// Package simd hosts the hand-vectorised kernels behind the GP hot path:
+// the fused multi-dot product that drives the packed Cholesky factorisation
+// and the Matérn-5/2 distance→covariance transform that drives the cached
+// Gram fill. On amd64 with AVX2+FMA (checked once at startup) both run in
+// assembly; everywhere else they fall back to portable Go with unrolled
+// scalar loops. The fallbacks compute the same quantities with the same
+// operation order per element, but SIMD results may differ from scalar ones
+// in the last few ulps (FMA contraction, vectorised exp) — callers get
+// deterministic results within one process, not across architectures.
+package simd
+
+import "math"
+
+// Enabled reports whether the assembly kernels are in use (for diagnostics
+// and tests).
+func Enabled() bool { return useAsm }
+
+// DotUnroll is a four-accumulator scalar dot product. Splitting the sum
+// across independent accumulators breaks the add-latency chain so the CPU
+// keeps several multiply-adds in flight even without SIMD.
+func DotUnroll(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+		s2 += a[k+2] * b[k+2]
+		s3 += a[k+3] * b[k+3]
+	}
+	var s float64
+	for ; k < len(a); k++ {
+		s += a[k] * b[k]
+	}
+	return s + s0 + s1 + s2 + s3
+}
+
+// Dot4 computes the four dot products p[:n]·q0[:n] … p[:n]·q3[:n] in one
+// pass. Sharing the p loads across four columns is what lifts a triangular
+// factorisation's inner loop from load-bound scalar speed to SIMD speed.
+func Dot4(p, q0, q1, q2, q3 []float64, n int) (s0, s1, s2, s3 float64) {
+	if useAsm && n >= 8 {
+		return dot4Asm(&p[0], &q0[0], &q1[0], &q2[0], &q3[0], n)
+	}
+	return DotUnroll(p[:n], q0[:n]), DotUnroll(p[:n], q1[:n]),
+		DotUnroll(p[:n], q2[:n]), DotUnroll(p[:n], q3[:n])
+}
+
+const (
+	sqrt5   = 2.23606797749979   // math.Sqrt(5)
+	fiveThd = 5.0 / 3.0          // Matérn-5/2 polynomial coefficient
+	expLo   = -708.3964185322641 // below this e^x underflows to 0
+)
+
+// Matern52FromR2 transforms scaled squared distances into Matérn-5/2
+// covariances in place:
+//
+//	v[i] = vr · (1 + s + 5/3·v[i]) · e^{−s},   s = √5·√v[i]
+//
+// matching gp.Cov.EvalR2 for the Matérn kernel to within a few ulps. This is
+// the scalar-transform half of every cached-Gram NLML evaluation, so on
+// amd64 it runs 4-wide in assembly, including a polynomial e^x.
+func Matern52FromR2(v []float64, vr float64) {
+	i := 0
+	if useAsm && len(v) >= 4 {
+		quads := len(v) &^ 3
+		matern52Asm(&v[0], quads, vr)
+		i = quads
+	}
+	for ; i < len(v); i++ {
+		s := sqrt5 * math.Sqrt(v[i])
+		v[i] = vr * (1 + s + fiveThd*v[i]) * math.Exp(-s)
+	}
+}

@@ -1,0 +1,98 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDot4MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 3, 4, 7, 8, 9, 15, 16, 31, 64, 127, 200} {
+		p := make([]float64, n)
+		qs := make([][]float64, 4)
+		for k := range qs {
+			qs[k] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			p[i] = rng.NormFloat64()
+			for k := range qs {
+				qs[k][i] = rng.NormFloat64()
+			}
+		}
+		s0, s1, s2, s3 := Dot4(p, qs[0], qs[1], qs[2], qs[3], n)
+		got := []float64{s0, s1, s2, s3}
+		for k := range qs {
+			var want float64
+			for i := 0; i < n; i++ {
+				want += p[i] * qs[k][i]
+			}
+			if diff := math.Abs(got[k] - want); diff > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("n=%d col=%d: got %g want %g (diff %g)", n, k, got[k], want, diff)
+			}
+		}
+	}
+}
+
+func TestMatern52FromR2MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13, 64, 257} {
+		r2 := make([]float64, n)
+		for i := range r2 {
+			switch i % 4 {
+			case 0:
+				r2[i] = 0 // diagonal entries are exact zeros
+			case 1:
+				r2[i] = rng.Float64() * 1e-6 // near-duplicate points
+			default:
+				// Up to the largest scaled distance the bounded length-scales
+				// admit (ℓ ≥ 0.02 over the unit box ⇒ r² ≲ 8/0.02² = 2·10⁴).
+				r2[i] = rng.Float64() * 2e4
+			}
+		}
+		vr := 0.5 + rng.Float64()
+		got := append([]float64(nil), r2...)
+		Matern52FromR2(got, vr)
+		for i, v := range r2 {
+			s := sqrt5 * math.Sqrt(v)
+			want := vr * (1 + s + fiveThd*v) * math.Exp(-s)
+			if v == 0 && got[i] != vr {
+				t.Fatalf("n=%d i=%d: r2=0 must give exactly vr=%g, got %g", n, i, vr, got[i])
+			}
+			diff := math.Abs(got[i] - want)
+			if diff > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("n=%d i=%d r2=%g: got %g want %g (rel %g)", n, i, v, got[i], want, diff/math.Max(want, 1e-300))
+			}
+		}
+	}
+}
+
+// TestMatern52FromR2Underflow checks that distances far beyond the clamp
+// threshold come back as zero rather than garbage exponent bits.
+func TestMatern52FromR2Underflow(t *testing.T) {
+	v := []float64{1e12, 1e12, 1e12, 1e12}
+	Matern52FromR2(v, 1.0)
+	for i, x := range v {
+		if x != 0 || math.Signbit(x) && x == 0 {
+			if x != 0 {
+				t.Fatalf("lane %d: want 0 for underflow, got %g", i, x)
+			}
+		}
+	}
+}
+
+func BenchmarkMatern52FromR2(b *testing.B) {
+	n := 20100 // packed length of a 200-point Gram matrix
+	src := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range src {
+		src[i] = rng.Float64() * 100
+	}
+	buf := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		Matern52FromR2(buf, 1.3)
+	}
+}
