@@ -1,0 +1,66 @@
+// Package analysis is a small, dependency-free analysis framework modelled
+// on the public API shape of golang.org/x/tools/go/analysis. The repo's
+// lint suite (cmd/ppalint) machine-checks the determinism and
+// numerical-safety invariants that PR 2 established — serial==parallel
+// bit-identity, seeded reproducibility, checked Cholesky factorisations —
+// so regressions are caught by CI instead of by reviewers.
+//
+// x/tools itself is deliberately not a dependency: the module is built and
+// linted in hermetic environments with no module proxy, so the framework,
+// the loader, and the analysistest harness are reimplemented here on the
+// standard library (go/ast, go/types, go/importer) alone. The types below
+// keep x/tools' field names so the analyzers could be ported to the real
+// framework with minimal churn if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check. It mirrors the x/tools Analyzer
+// struct: Name appears in diagnostics and in //ppalint:allow suppressions,
+// Doc is shown by `ppalint help`, and Run reports findings via pass.Report.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver applies the
+	// //ppalint:allow suppression filter after the analyzer returns.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned within pass.Fset.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several analyzers
+// exempt test files: the determinism contract binds the tuner's hot paths,
+// not test scaffolding, and the race+shuffle CI job covers test hygiene.
+func InTestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

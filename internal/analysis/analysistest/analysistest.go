@@ -1,0 +1,139 @@
+// Package analysistest is a minimal re-implementation of the x/tools
+// fixture harness for the ppalint analyzers: it loads a package from a
+// testdata/src tree, runs one analyzer over it, and checks the reported
+// diagnostics against `// want` expectations embedded in the fixture.
+//
+// Expectation syntax (a subset of x/tools'): a comment containing
+//
+//	// want `regexp` `another regexp`
+//
+// on a source line declares that exactly those diagnostics (matched by
+// regexp, in any order) are reported on that line. Lines without a want
+// comment must report nothing.
+//
+// Import resolution inside fixtures: any import path with a directory
+// under testdata/src/<path> is loaded from there — fixtures stub
+// module-internal packages such as ppatuner/internal/par with just enough
+// API surface for the analyzer's type checks — and everything else falls
+// through to the standard library source importer.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ppatuner/internal/analysis"
+	"ppatuner/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads each fixture package (an import path under testdata/src), runs
+// the analyzer, and verifies the diagnostics against // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	loader := &load.Loader{
+		GoVersion: "go1.23",
+		Resolve: func(importPath string) (string, bool) {
+			dir := filepath.Join(src, filepath.FromSlash(importPath))
+			if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+				return dir, true
+			}
+			return "", false
+		},
+	}
+	for _, pkgPath := range pkgPaths {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+		}
+		var diags []analysis.Diagnostic
+		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkgPath, err)
+		}
+		check(t, pkg, a.Name, diags)
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// check matches reported diagnostics against want expectations line by line.
+func check(t *testing.T, pkg *load.Package, name string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[lineKey][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				var res []string
+				for _, m := range wantRE.FindAllStringSubmatch(text[i:], -1) {
+					res = append(res, m[1])
+				}
+				if len(res) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], res...)
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			ok, err := regexp.MatchString(re, d.Message)
+			if err != nil {
+				t.Errorf("%s: bad want regexp %q: %v", position(pos), re, err)
+			}
+			if ok {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected %s diagnostic: %s", position(pos), name, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no %s diagnostic matching %q", k.file, k.line, name, re)
+		}
+	}
+}
+
+func position(pos token.Position) string { return pos.String() }

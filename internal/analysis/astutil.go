@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shared AST/type helpers for the analyzers. These deliberately stay
+// syntactic where x/tools would offer SSA: the invariants ppalint enforces
+// are local enough that lexical capture analysis plus type information
+// catches the real regressions without a dataflow engine.
+
+// Render returns the source text of an expression (types.ExprString), used
+// to compare expressions for syntactic identity.
+func Render(e ast.Expr) string { return types.ExprString(e) }
+
+// RootIdent peels index, selector, star, and paren wrappers off an
+// assignable expression and returns the base identifier, or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// DeclaredOutside reports whether id's object is declared outside the span
+// [pos, end) — i.e. the identifier is captured from an enclosing scope.
+func DeclaredOutside(info *types.Info, id *ast.Ident, pos, end token.Pos) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < pos || obj.Pos() >= end
+}
+
+// IsFloat reports whether t's underlying type is a floating-point basic.
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsBuiltinAppend reports whether call invokes the append builtin.
+func IsBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// Mentions reports whether n contains an identifier or selector whose
+// source text equals text.
+func Mentions(n ast.Node, text string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.Ident:
+			if e.Name == text {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if Render(e) == text {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// EnclosingStmtList returns the statement list (block or switch/select
+// clause body) that directly contains target, or nil.
+func EnclosingStmtList(file *ast.File, target ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	contains := func(list []ast.Stmt) bool {
+		for _, st := range list {
+			if st == target {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			if contains(b.List) {
+				out = b.List
+			}
+		case *ast.CaseClause:
+			if contains(b.Body) {
+				out = b.Body
+			}
+		case *ast.CommClause:
+			if contains(b.Body) {
+				out = b.Body
+			}
+		}
+		return out == nil
+	})
+	return out
+}

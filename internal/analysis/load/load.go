@@ -1,0 +1,189 @@
+// Package load type-checks Go packages from source using only the standard
+// library, for consumption by the ppalint analyzers. It exists because the
+// canonical loaders (golang.org/x/tools/go/packages and the analysistest
+// harness) live in x/tools, which this module deliberately does not depend
+// on: builds run in hermetic environments with no module proxy. Standard
+// library imports are satisfied by the stdlib source importer
+// (go/importer.ForCompiler "source"); everything else is resolved through a
+// caller-supplied directory resolver, so the same loader serves both the
+// real module tree (cmd/ppalint) and analyzer test fixtures
+// (internal/analysis/analysistest).
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// A Loader loads and caches type-checked packages. It is not safe for
+// concurrent use.
+type Loader struct {
+	// Resolve maps an import path to the directory holding its source, or
+	// reports false to fall back to the standard-library source importer.
+	Resolve func(importPath string) (dir string, ok bool)
+	// GoVersion sets the language version for type checking (e.g. "go1.23").
+	GoVersion string
+	// IncludeTests adds in-package _test.go files to loaded packages.
+	IncludeTests bool
+
+	Fset *token.FileSet
+
+	std   types.Importer
+	cache map[string]*Package
+}
+
+func (l *Loader) init() {
+	if l.Fset == nil {
+		l.Fset = token.NewFileSet()
+	}
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.Fset, "source", nil)
+	}
+	if l.cache == nil {
+		l.cache = make(map[string]*Package)
+	}
+}
+
+// Load type-checks the package at importPath (resolved via Resolve) along
+// with its transitive module-local imports.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	l.init()
+	if p, ok := l.cache[importPath]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("load: import cycle through %q", importPath)
+		}
+		return p, nil
+	}
+	dir, ok := l.Resolve(importPath)
+	if !ok {
+		return nil, fmt.Errorf("load: no source directory for %q", importPath)
+	}
+	l.cache[importPath] = nil // cycle marker
+	p, err := l.loadDir(importPath, dir)
+	if err != nil {
+		delete(l.cache, importPath)
+		return nil, err
+	}
+	l.cache[importPath] = p
+	return p, nil
+}
+
+// loadDir parses the build-constrained file list of dir and type-checks it.
+func (l *Loader) loadDir(importPath, dir string) (*Package, error) {
+	ctx := build.Default
+	bp, err := ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", importPath, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	if l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load %s: no Go files in %s", importPath, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{
+		Importer:  importerFunc(l.importPkg),
+		GoVersion: l.GoVersion,
+	}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{PkgPath: importPath, Fset: l.Fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// LoadXTest type-checks the external test package (package foo_test) of
+// importPath, or returns nil if the directory has none. External test
+// packages are not importable, so the result is not cached.
+func (l *Loader) LoadXTest(importPath string) (*Package, error) {
+	l.init()
+	dir, ok := l.Resolve(importPath)
+	if !ok {
+		return nil, fmt.Errorf("load: no source directory for %q", importPath)
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", importPath, err)
+	}
+	if len(bp.XTestGoFiles) == 0 {
+		return nil, nil
+	}
+	names := append([]string(nil), bp.XTestGoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{Importer: importerFunc(l.importPkg), GoVersion: l.GoVersion}
+	pkg, err := conf.Check(importPath+"_test", l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s_test: %w", importPath, err)
+	}
+	return &Package{PkgPath: importPath + "_test", Fset: l.Fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// importPkg satisfies imports during type checking: resolver-known paths
+// load recursively from source, everything else defers to the stdlib
+// source importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if _, ok := l.Resolve(path); ok {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

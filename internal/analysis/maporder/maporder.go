@@ -1,0 +1,328 @@
+// Package maporder flags range statements over maps whose loop bodies leak
+// Go's randomised iteration order into program output.
+//
+// Map iteration order differs between runs, so a map-range loop that
+// appends to a slice, writes slice elements, or folds an order-sensitive
+// reduction produces run-to-run-varying results — precisely the class of
+// bug that invalidates the tuner's seeded-reproducibility guarantee while
+// every individual value still looks correct. The analyzer sanctions the
+// idiomatic fixes: collecting keys and sorting them before use, and
+// reductions that are genuinely order-insensitive (integer +/-/*/&/|/^
+// accumulation, min/max folds, monotone boolean latches, constant stores).
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ppatuner/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: `flag map-range loops whose body output depends on iteration order
+
+A loop "for k, v := range m" is flagged when its body (1) appends to a
+slice declared outside the loop, unless a sort call on that slice follows
+in the same block before any other use; (2) assigns to elements of an
+outer slice or array; or (3) folds an order-sensitive reduction into an
+outer variable (floating-point accumulation, string concatenation,
+shift/divide compound assignments, or a plain overwrite whose value
+depends on the iteration). Order-insensitive folds — integer + - * & | ^,
+x++, min/max via the builtins or math.Min/math.Max, x = x || c, and
+constant stores — are sanctioned, as is the collect-keys-then-sort idiom.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkLoop(pass, file, rs)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// outer reports whether id is declared outside the loop rs.
+func outer(pass *analysis.Pass, rs *ast.RangeStmt, id *ast.Ident) bool {
+	return analysis.DeclaredOutside(pass.TypesInfo, id, rs.Pos(), rs.End())
+}
+
+// checkLoop inspects one map-range loop body for order leaks.
+func checkLoop(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, file, rs, st)
+		case *ast.IncDecStmt:
+			// x++ / x-- on an outer integer is a commutative count; on a
+			// float it is an order-sensitive sum. (Go only permits IncDec
+			// on numeric types.)
+			if id, ok := st.X.(*ast.Ident); ok && outer(pass, rs, id) {
+				if analysis.IsFloat(pass.TypesInfo.TypeOf(st.X)) {
+					pass.Reportf(st.Pos(),
+						"floating-point accumulation into %s inside a map-range loop is order-sensitive; iterate sorted keys", id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, st *ast.AssignStmt) {
+	for i, lhs := range st.Lhs {
+		if i < len(st.Rhs) && len(st.Lhs) == len(st.Rhs) {
+			if call, ok := st.Rhs[i].(*ast.CallExpr); ok && analysis.IsBuiltinAppend(pass.TypesInfo, call) {
+				checkAppend(pass, file, rs, st, lhs)
+				continue
+			}
+		}
+		checkWrite(pass, rs, st, lhs, rhsFor(st, i))
+	}
+}
+
+// rhsFor returns the RHS expression matching lhs index i, or nil for
+// multi-value assignments (x, y := f()).
+func rhsFor(st *ast.AssignStmt, i int) ast.Expr {
+	if len(st.Lhs) == len(st.Rhs) {
+		return st.Rhs[i]
+	}
+	return nil
+}
+
+// checkAppend handles `s = append(s, ...)` targeting an outer slice. The
+// collect-then-sort idiom is sanctioned: if, in the statement list
+// enclosing the loop, the first statement mentioning s after the loop is a
+// recognised sort call on s, the append order cannot be observed.
+func checkAppend(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, st *ast.AssignStmt, lhs ast.Expr) {
+	root := analysis.RootIdent(lhs)
+	if root == nil || !outer(pass, rs, root) {
+		return
+	}
+	// Appending into a per-key map bucket (m2[k] = append(m2[k], v)) visits
+	// each bucket once per key and is order-independent.
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		if xt := pass.TypesInfo.TypeOf(ix.X); xt != nil {
+			if _, isMap := xt.Underlying().(*types.Map); isMap {
+				return
+			}
+		}
+	}
+	if sortedAfterLoop(pass, file, rs, lhs) {
+		return
+	}
+	pass.Reportf(st.Pos(),
+		"append to %s inside a map-range loop leaks iteration order; collect keys, sort, then iterate (or sort %s immediately after the loop)",
+		analysis.Render(lhs), analysis.Render(lhs))
+}
+
+// checkWrite handles non-append assignments with an outer target.
+func checkWrite(pass *analysis.Pass, rs *ast.RangeStmt, st *ast.AssignStmt, lhs ast.Expr, rhs ast.Expr) {
+	switch target := lhs.(type) {
+	case *ast.IndexExpr:
+		// Writes into an outer map are per-key and order-independent;
+		// writes into an outer slice/array land in positions whose content
+		// then depends on visit order — unless the write is a
+		// self-referential min/max fold (lo[k] = math.Min(lo[k], v)) or an
+		// iteration-invariant store.
+		root := analysis.RootIdent(target.X)
+		if root == nil || !outer(pass, rs, root) {
+			return
+		}
+		xt := pass.TypesInfo.TypeOf(target.X)
+		if xt == nil {
+			return
+		}
+		switch xt.Underlying().(type) {
+		case *types.Slice, *types.Array:
+		default:
+			return // map or other per-key structure
+		}
+		if st.Tok == token.ASSIGN &&
+			(isMinMaxFoldOf(pass, rhs, target) || isOrderInsensitiveStore(pass, rs, rhs)) {
+			return
+		}
+		if st.Tok != token.ASSIGN && opAssignInsensitive(st.Tok, pass.TypesInfo.TypeOf(target)) {
+			return
+		}
+		pass.Reportf(st.Pos(),
+			"indexed write to %s inside a map-range loop depends on iteration order; iterate sorted keys", analysis.Render(target.X))
+	case *ast.Ident:
+		if target.Name == "_" || st.Tok == token.DEFINE || !outer(pass, rs, target) {
+			return
+		}
+		if st.Tok == token.ASSIGN {
+			if isMinMaxFoldOf(pass, rhs, target) || isBoolLatchOf(pass, rhs, target) ||
+				isOrderInsensitiveStore(pass, rs, rhs) {
+				return
+			}
+			pass.Reportf(st.Pos(),
+				"last-writer-wins store to %s inside a map-range loop depends on iteration order; iterate sorted keys", target.Name)
+			return
+		}
+		if opAssignInsensitive(st.Tok, pass.TypesInfo.TypeOf(target)) {
+			return
+		}
+		pass.Reportf(st.Pos(),
+			"order-sensitive reduction into %s inside a map-range loop; iterate sorted keys", target.Name)
+	}
+}
+
+// opAssignInsensitive reports whether `x tok= e` is order-insensitive: for
+// integers, + - * & | ^ &^ are commutative-and-associative modulo 2^n;
+// everything on floats, strings, and complex numbers, and integer
+// shifts/divides, is order-sensitive.
+func opAssignInsensitive(tok token.Token, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	if b.Info()&types.IsInteger == 0 {
+		return false
+	}
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// isMinMaxFoldOf reports whether rhs is min/max (builtin or math.Min/Max)
+// with self among the arguments — an order-insensitive fold.
+func isMinMaxFoldOf(pass *analysis.Pass, rhs ast.Expr, self ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin)
+		if !ok || (b.Name() != "min" && b.Name() != "max") {
+			return false
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math" ||
+			(fn.Name() != "Min" && fn.Name() != "Max") {
+			return false
+		}
+	default:
+		return false
+	}
+	selfText := analysis.Render(self)
+	for _, arg := range call.Args {
+		if analysis.Render(arg) == selfText {
+			return true
+		}
+	}
+	return false
+}
+
+// isBoolLatchOf reports whether rhs is `self || e` or `self && e` — a
+// monotone latch whose final value is order-independent.
+func isBoolLatchOf(pass *analysis.Pass, rhs ast.Expr, self ast.Expr) bool {
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.LOR && bin.Op != token.LAND) {
+		return false
+	}
+	selfText := analysis.Render(self)
+	return analysis.Render(bin.X) == selfText || analysis.Render(bin.Y) == selfText
+}
+
+// isOrderInsensitiveStore reports whether rhs stores a value that cannot
+// vary with the iteration: a compile-time constant, or an expression that
+// references nothing declared inside the loop (an invariant).
+func isOrderInsensitiveStore(pass *analysis.Pass, rs *ast.RangeStmt, rhs ast.Expr) bool {
+	if rhs == nil {
+		return false
+	}
+	if tv, ok := pass.TypesInfo.Types[rhs]; ok && tv.Value != nil {
+		return true
+	}
+	variant := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil &&
+				obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+				variant = true
+			}
+		}
+		return !variant
+	})
+	return !variant
+}
+
+// sortedAfterLoop reports whether, in the statement list enclosing rs, the
+// first subsequent statement mentioning the appended slice is a recognised
+// sort call on it.
+func sortedAfterLoop(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, slice ast.Expr) bool {
+	list := analysis.EnclosingStmtList(file, rs)
+	if list == nil {
+		return false
+	}
+	sliceText := analysis.Render(slice)
+	after := false
+	for _, st := range list {
+		if st == ast.Stmt(rs) {
+			after = true
+			continue
+		}
+		if !after || !analysis.Mentions(st, sliceText) {
+			continue
+		}
+		if es, ok := st.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && isSortCall(pass, call) {
+				for _, arg := range call.Args {
+					if analysis.Render(arg) == sliceText {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isSortCall recognises the sort/slices package entry points that fix an
+// order before the slice is consumed.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+// Fixture for the maporder analyzer: map-range loops whose output depends
+// on iteration order are flagged; the sorted-keys idiom and genuinely
+// order-insensitive folds pass.
+package a
+
+import (
+	"math"
+	"sort"
+)
+
+func flagAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside a map-range loop`
+	}
+	return out
+}
+
+// okCollectSort is THE sanctioned idiom: collect keys, sort immediately
+// after the loop, then consume.
+func okCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okSortSlice(m map[uint64][]int) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+func flagIndexedWrite(m map[int]float64, out []float64) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want `indexed write to out inside a map-range loop`
+		i++
+	}
+}
+
+// okMinFold: self-referential min/max folds commute, even nested under the
+// map range.
+func okMinFold(m map[int][]float64, lo []float64) {
+	for _, y := range m {
+		for k := range lo {
+			lo[k] = math.Min(lo[k], y[k])
+		}
+	}
+}
+
+func flagFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `order-sensitive reduction into sum`
+	}
+	return sum
+}
+
+// okIntCount: integer accumulation is exact and commutative.
+func okIntCount(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+		n++
+	}
+	return n
+}
+
+func flagLastWriter(m map[int]string) string {
+	var last string
+	for _, v := range m {
+		last = v // want `last-writer-wins store to last`
+	}
+	return last
+}
+
+// okLatch: monotone boolean latch and constant stores cannot observe order.
+func okLatch(m map[int]bool) (bool, bool) {
+	found := false
+	hit := false
+	for _, v := range m {
+		found = found || v
+		hit = true
+	}
+	return found, hit
+}
+
+// okPerKeyBucket: writes into per-key map buckets are order-independent.
+func okPerKeyBucket(src map[string]int, dst map[string][]int, n map[string]int) {
+	for k, v := range src {
+		dst[k] = append(dst[k], v)
+		n[k] = v
+	}
+}
+
+func flagFloatInc(m map[int]bool) float64 {
+	var x float64
+	for range m {
+		x++ // want `floating-point accumulation into x`
+	}
+	return x
+}
+
+// okLocal: everything declared inside the loop is untouched by order.
+func okLocal(m map[int]int) {
+	for _, v := range m {
+		double := v * 2
+		_ = double
+	}
+}

@@ -1,0 +1,15 @@
+package mustcheck_test
+
+import (
+	"testing"
+
+	"ppatuner/internal/analysis/analysistest"
+	"ppatuner/internal/analysis/mustcheck"
+)
+
+// The fixture stubs ppatuner/internal/mat and ppatuner/internal/robust
+// with just enough API surface for the curated-list type checks; package
+// "a" exercises discarded and checked calls against them.
+func TestMustCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), mustcheck.Analyzer, "a")
+}

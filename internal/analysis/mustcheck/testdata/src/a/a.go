@@ -1,0 +1,36 @@
+// Fixture for the mustcheck analyzer: discarded errors from the curated
+// mat/robust APIs are flagged; checked errors and non-curated calls pass.
+package a
+
+import (
+	"ppatuner/internal/mat"
+	"ppatuner/internal/robust"
+)
+
+func bad(a *mat.Matrix, c *mat.Cholesky, ck *robust.Checkpoint) {
+	mat.NewCholesky(a)              // want `mat.NewCholesky discards its error`
+	c.Extend(nil)                   // want `mat.Cholesky.Extend discards its error`
+	c.FactorizePacked(nil, 0, 0, 1) // want `mat.Cholesky.FactorizePacked discards its error`
+	defer ck.Save()                 // want `defer robust.Checkpoint.Save discards its error`
+	go ck.Add(0, nil)               // want `go robust.Checkpoint.Add discards its error`
+	f, _ := mat.NewCholesky(a)      // want `mat.NewCholesky assigns its error to _`
+	_ = f
+	_, _, _ = mat.SolveSPD(a, nil) // want `mat.SolveSPD assigns its error to _`
+	robust.LoadCheckpoint("x")     // want `robust.LoadCheckpoint discards its error`
+}
+
+func good(a *mat.Matrix, c *mat.Cholesky, ck *robust.Checkpoint) error {
+	f, err := mat.NewCholesky(a)
+	if err != nil {
+		return err
+	}
+	_ = f.Solve(nil) // Solve returns no error and is not curated: fine.
+	_ = ck.Len()
+	if err := c.Extend(nil); err != nil {
+		return err
+	}
+	if _, _, err := mat.SolveSPD(a, nil); err != nil {
+		return err
+	}
+	return ck.Save()
+}

@@ -1,0 +1,13 @@
+// Stub of the real internal/robust checkpoint surface for the mustcheck
+// analyzer fixture.
+package robust
+
+type Checkpoint struct{}
+
+func LoadCheckpoint(path string) (*Checkpoint, error) { return nil, nil }
+
+func (c *Checkpoint) Add(i int, y []float64) error { return nil }
+
+func (c *Checkpoint) Save() error { return nil }
+
+func (c *Checkpoint) Len() int { return 0 }

@@ -1,0 +1,100 @@
+// Package nodeterminism forbids wall-clock and global-RNG entropy sources
+// inside the packages the determinism policy table covers.
+//
+// A tuner run must be a pure function of (seed, pool, options) — that is
+// what makes the paper's Table 1 / Fig. 3 reproductions, the chaos
+// acceptance envelope, and the serial==parallel bit-identity tests
+// meaningful. The two classic ways that property silently rots are calls to
+// the wall clock (time.Now and friends) and draws from the process-global
+// math/rand source. Both are flagged; an explicit *rand.Rand constructed
+// from a seed and plumbed through options is the only sanctioned
+// randomness. Test files are exempt, as is any package carved out by the
+// policy table (internal/robust's deadline code is the canonical example).
+package nodeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ppatuner/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterminism",
+	Doc: `forbid wall-clock and global-RNG calls in deterministic packages
+
+Flags time.Now/Since/Until/Sleep/Tick/After/AfterFunc/NewTimer/NewTicker,
+the package-level draw functions of math/rand and math/rand/v2, and any use
+of crypto/rand, inside the packages listed in the determinism policy table
+(internal/analysis/policy.go). Constructors that build an explicit seeded
+generator (rand.New, rand.NewSource, rand.NewPCG, rand.NewChaCha8,
+rand.NewZipf) are sanctioned. Test files are exempt.`,
+	Run: run,
+}
+
+// wallClock lists the time package functions that read or schedule against
+// the wall clock. time.Since is here even though it takes an argument: its
+// implicit "now" endpoint is exactly the hidden input the contract bans.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededConstructors are the math/rand package-level functions that do NOT
+// draw from the global source; everything else at package level does.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	covered, _ := analysis.DeterminismPolicy(pass.Pkg.Path())
+	if !covered {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.InTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if obj.Pkg().Path() == "crypto/rand" {
+				pass.Reportf(sel.Pos(),
+					"crypto/rand is entropy by definition and is forbidden in deterministic package %s", pass.Pkg.Path())
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Float64) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClock[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock inside deterministic package %s; results must be a pure function of the seed (policy: internal/analysis/policy.go)",
+						fn.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"%s.%s draws from the process-global RNG inside deterministic package %s; plumb an explicit seeded *rand.Rand instead",
+						fn.Pkg().Path(), fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

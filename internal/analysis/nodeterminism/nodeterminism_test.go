@@ -1,0 +1,17 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"ppatuner/internal/analysis/analysistest"
+	"ppatuner/internal/analysis/nodeterminism"
+)
+
+// The fixture mimics the real package layout: the core fixture package is
+// covered by the determinism policy table and must be flagged; the robust
+// fixture package is exempt (wall-clock deadline code) and must stay
+// silent even though it calls time.Now.
+func TestNoDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nodeterminism.Analyzer,
+		"ppatuner/internal/core", "ppatuner/internal/robust")
+}

@@ -1,0 +1,35 @@
+// Fixture for the nodeterminism analyzer: this package path is covered by
+// the determinism policy table, so wall-clock and global-RNG calls must be
+// flagged while explicit seeded generators pass.
+package core
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	return time.Since(start)     // want `time.Since reads the wall clock`
+}
+
+func globalRNG() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want `math/rand.Shuffle draws from the process-global RNG`
+	return rand.Float64()              // want `math/rand.Float64 draws from the process-global RNG`
+}
+
+func entropy(buf []byte) {
+	crand.Read(buf) // want `crypto/rand is entropy by definition`
+}
+
+// seeded is the sanctioned pattern: an explicit generator constructed from
+// a seed and plumbed through — no diagnostics.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// durations and clock arithmetic that never read the clock are fine.
+func pureTime(d time.Duration) time.Duration { return d * 2 }

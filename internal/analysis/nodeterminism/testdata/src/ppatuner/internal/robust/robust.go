@@ -1,0 +1,14 @@
+// Fixture for the nodeterminism analyzer: this package path is exempt in
+// the policy table (the fault-tolerance layer's deadlines are wall-clock
+// by contract), so nothing here may be flagged.
+package robust
+
+import "time"
+
+func deadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout)
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

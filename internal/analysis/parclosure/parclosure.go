@@ -1,0 +1,121 @@
+// Package parclosure guards the serial==parallel bit-identity contract at
+// its narrowest point: the closures handed to internal/par's fork-join
+// helpers.
+//
+// par.Do shards an index range across workers; the contract (pinned by the
+// core and gp equivalence tests) is that any worker count reproduces the
+// serial loop bit-for-bit. That holds only if shards touch disjoint
+// per-index slots. Three capture patterns break it: sharing one *rand.Rand
+// across shards (draw order becomes schedule-dependent), mutating a
+// captured scalar (a data race and an order-dependent fold), and ranging
+// over a map inside the closure (per-shard iteration order varies). Each is
+// flagged at the capture site.
+package parclosure
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ppatuner/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "parclosure",
+	Doc: `flag closures passed to internal/par helpers that break bit-identity
+
+Inside a func literal passed to a ppatuner/internal/par fork-join helper,
+three things are flagged: use of a captured *math/rand.Rand (plumb
+per-shard RNGs split from the seed instead), assignment or ++/-- to a
+captured non-indexed variable (shards race and the merge order is
+schedule-dependent; per-index writes like out[i] = v are the sanctioned
+pattern), and any range over a map (iteration order varies per shard).`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if analysis.InTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParHelper(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					checkClosure(pass, fl)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isParHelper reports whether call invokes a function exported by the
+// internal/par package (the fork-join surface).
+func isParHelper(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "ppatuner/internal/par"
+}
+
+// isRandType reports whether t is (a pointer to) math/rand's or
+// math/rand/v2's Rand.
+func isRandType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Rand" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func checkClosure(pass *analysis.Pass, fl *ast.FuncLit) {
+	captured := func(id *ast.Ident) bool {
+		return analysis.DeclaredOutside(pass.TypesInfo, id, fl.Pos(), fl.End())
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[st]; obj != nil && captured(st) && isRandType(obj.Type()) {
+				pass.Reportf(st.Pos(),
+					"par closure captures shared RNG %s; a schedule-dependent draw order breaks serial==parallel bit-identity — split per-shard RNGs from the seed", st.Name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && captured(id) {
+					pass.Reportf(st.Pos(),
+						"par closure mutates captured variable %s; shards race and the result depends on the schedule — write to disjoint per-index slots instead", id.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := st.X.(*ast.Ident); ok && captured(id) {
+				pass.Reportf(st.Pos(),
+					"par closure mutates captured variable %s; shards race and the result depends on the schedule — write to disjoint per-index slots instead", id.Name)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(st.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(st.Pos(),
+						"par closure ranges over a map; iteration order varies per shard and per run — iterate a sorted key slice")
+				}
+			}
+		}
+		return true
+	})
+}

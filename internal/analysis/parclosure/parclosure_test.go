@@ -1,0 +1,15 @@
+package parclosure_test
+
+import (
+	"testing"
+
+	"ppatuner/internal/analysis/analysistest"
+	"ppatuner/internal/analysis/parclosure"
+)
+
+// The fixture stubs ppatuner/internal/par with a serial Do; the analyzer
+// keys on the import path, so the stub exercises the same resolution as
+// the real fork-join helper.
+func TestParClosure(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), parclosure.Analyzer, "a")
+}

@@ -1,0 +1,51 @@
+// Fixture for the parclosure analyzer: closures handed to par helpers that
+// capture a shared RNG, mutate captured variables, or range maps are
+// flagged; the disjoint-per-index-slot pattern passes.
+package a
+
+import (
+	"math/rand"
+
+	"ppatuner/internal/par"
+)
+
+func flagSharedRNG(rng *rand.Rand, out []float64) {
+	par.Do(4, len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = rng.Float64() // want `par closure captures shared RNG rng`
+		}
+	})
+}
+
+func flagCapturedMutation(xs []float64) float64 {
+	var sum float64
+	par.Do(4, len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want `par closure mutates captured variable sum`
+		}
+	})
+	return sum
+}
+
+func flagMapRange(m map[int]float64, out []float64) {
+	par.Do(4, len(out), func(lo, hi int) {
+		i := lo
+		for _, v := range m { // want `par closure ranges over a map`
+			out[i] = v
+			i++
+		}
+	})
+}
+
+// okDisjointSlots is the sanctioned shape: per-shard RNG derived from a
+// seed table, writes only to disjoint per-index slots, locals stay local.
+func okDisjointSlots(xs, out []float64, seeds []int64) {
+	par.Do(4, len(xs), func(lo, hi int) {
+		rng := rand.New(rand.NewSource(seeds[0]))
+		scale := 1.0
+		for i := lo; i < hi; i++ {
+			scale *= 0.5
+			out[i] = xs[i] * rng.Float64() * scale
+		}
+	})
+}

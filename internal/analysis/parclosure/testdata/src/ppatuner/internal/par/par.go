@@ -1,0 +1,7 @@
+// Stub of the real internal/par fork-join surface for the parclosure
+// analyzer fixture.
+package par
+
+func Do(workers, n int, fn func(lo, hi int)) {
+	fn(0, n)
+}

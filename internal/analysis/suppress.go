@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments. A diagnostic may be silenced in-tree with
+//
+//	//ppalint:allow <analyzer> <justification>
+//
+// placed on the flagged line or on the line immediately above it. The
+// justification is mandatory: an allow directive without one is itself
+// reported as a finding, so CI enforces "zero suppressions without a
+// comment" mechanically rather than by review convention.
+
+const allowPrefix = "ppalint:allow"
+
+type allowDirective struct {
+	pos       token.Pos // for reporting malformed directives
+	covers    int       // line the directive suppresses
+	analyzer  string
+	justified bool
+}
+
+// collectAllows scans a file's comments for ppalint:allow directives. A
+// trailing directive covers its own line; a directive standing alone on a
+// line covers the next one.
+func collectAllows(fset *token.FileSet, file *ast.File) []allowDirective {
+	code := codeLines(fset, file)
+	var out []allowDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+			fields := strings.Fields(rest)
+			line := fset.Position(c.Pos()).Line
+			d := allowDirective{pos: c.Pos(), covers: line}
+			if !code[line] {
+				d.covers = line + 1
+			}
+			if len(fields) > 0 {
+				d.analyzer = fields[0]
+			}
+			// A justification must say something beyond the analyzer name:
+			// require at least three further words so "ok" doesn't pass.
+			d.justified = len(fields) >= 4
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// codeLines returns the set of lines carrying non-comment syntax.
+func codeLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// Filter drops diagnostics covered by a justified //ppalint:allow directive
+// naming the given analyzer. Unjustified directives never suppress; they are
+// reported separately by DirectiveDiagnostics so CI fails on them.
+func Filter(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) []Diagnostic {
+	byFile := make(map[*token.File][]allowDirective)
+	for _, f := range files {
+		if tf := fset.File(f.Pos()); tf != nil {
+			byFile[tf] = collectAllows(fset, f)
+		}
+	}
+	var kept []Diagnostic
+	for _, diag := range diags {
+		tf := fset.File(diag.Pos)
+		line := fset.Position(diag.Pos).Line
+		suppressed := false
+		for _, d := range byFile[tf] {
+			if d.analyzer == analyzer && d.justified && d.covers == line {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	return kept
+}
+
+// DirectiveDiagnostics reports every malformed ppalint:allow directive —
+// one missing the analyzer name or the mandatory justification. Drivers
+// call it once per package so the "no suppression without a comment"
+// invariant is machine-checked rather than a review convention.
+func DirectiveDiagnostics(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, d := range collectAllows(fset, f) {
+			if d.analyzer == "" || !d.justified {
+				out = append(out, Diagnostic{
+					Pos: d.pos,
+					Message: fmt.Sprintf(
+						"ppalint:allow directive needs an analyzer name and a justification: //%s <analyzer> <why this is sound>", allowPrefix),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func f() {
+	a() //ppalint:allow maporder keys are a fixed singleton set in this build
+	b() //ppalint:allow maporder
+	//ppalint:allow nodeterminism clock feeds the progress bar only, never results
+	c()
+	d()
+}
+`
+
+func TestSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := func(sub string) token.Pos {
+		return fset.File(f.Pos()).Pos(strings.Index(suppressSrc, sub))
+	}
+	diags := []Diagnostic{
+		{Pos: pos("a()"), Message: "finding on a"}, // justified same-line allow: suppressed
+		{Pos: pos("b()"), Message: "finding on b"}, // allow without justification: kept
+		{Pos: pos("c()"), Message: "finding on c"}, // line-above allow names a different analyzer
+		{Pos: pos("d()"), Message: "finding on d"}, // no allow: kept
+	}
+	files := []*ast.File{f}
+
+	kept := Filter(fset, files, "maporder", diags)
+	got := map[string]bool{}
+	for _, d := range kept {
+		got[d.Message] = true
+	}
+	if got["finding on a"] {
+		t.Error("justified allow on the same line should suppress the maporder finding on a()")
+	}
+	if !got["finding on b"] {
+		t.Error("allow without a justification must not suppress the finding on b()")
+	}
+	if !got["finding on c"] || !got["finding on d"] {
+		t.Error("findings on c() and d() must be kept for analyzer maporder")
+	}
+
+	// The nodeterminism allow on the preceding line covers c() for that
+	// analyzer only.
+	kept = Filter(fset, files, "nodeterminism", diags)
+	got = map[string]bool{}
+	for _, d := range kept {
+		got[d.Message] = true
+	}
+	if got["finding on c"] {
+		t.Error("justified allow on the preceding line should suppress the nodeterminism finding on c()")
+	}
+	if !got["finding on a"] {
+		t.Error("maporder allow must not suppress a nodeterminism finding on a()")
+	}
+
+	// The unjustified directive on b() is itself a finding.
+	bad := DirectiveDiagnostics(fset, files)
+	if len(bad) != 1 {
+		t.Fatalf("DirectiveDiagnostics = %d findings, want 1 (the justification-free allow)", len(bad))
+	}
+	if line := fset.Position(bad[0].Pos).Line; line != fset.Position(pos("b()")).Line {
+		t.Errorf("malformed-directive finding on line %d, want the b() line", line)
+	}
+}

@@ -293,11 +293,19 @@ func topK(v []float64, k int) []int {
 }
 
 func nonDominated(known map[int][]float64) []int {
+	// Iterate sorted indices so the reported front is deterministic; map
+	// order would reshuffle ParetoIdx between identically-seeded runs.
+	idx := make([]int, 0, len(known))
+	for i := range known {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
 	var out []int
-	for i, yi := range known {
+	for _, i := range idx {
+		yi := known[i]
 		dominated := false
-		for j, yj := range known {
-			if i != j && dominates(yj, yi) {
+		for _, j := range idx {
+			if i != j && dominates(known[j], yi) {
 				dominated = true
 				break
 			}

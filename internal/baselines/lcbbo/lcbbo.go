@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"ppatuner/internal/baselines/scalarize"
 	"ppatuner/internal/gp"
@@ -179,14 +180,22 @@ func Run(pool [][]float64, eval func(int) ([]float64, error), opt Options) (*Res
 
 // nonDominated returns evaluated indices whose vectors are non-dominated.
 func nonDominated(known map[int][]float64) []int {
+	// Iterate sorted indices so the reported front is deterministic; map
+	// order would reshuffle ParetoIdx between identically-seeded runs.
+	idx := make([]int, 0, len(known))
+	for i := range known {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
 	var out []int
-	for i, yi := range known {
+	for _, i := range idx {
+		yi := known[i]
 		dominated := false
-		for j, yj := range known {
+		for _, j := range idx {
 			if i == j {
 				continue
 			}
-			if dominates(yj, yi) {
+			if dominates(known[j], yi) {
 				dominated = true
 				break
 			}

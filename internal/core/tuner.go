@@ -851,14 +851,22 @@ func (t *Tuner) maybeRefit() error {
 // nonDominatedEvaluated returns the evaluated points whose golden vectors
 // are mutually non-dominated.
 func (t *Tuner) nonDominatedEvaluated() []int {
+	// Iterate sorted indices: ranging t.known directly would emit the front
+	// in map order, which varies run to run and breaks seeded reproducibility.
+	idx := make([]int, 0, len(t.known))
+	for i := range t.known {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
 	var out []int
-	for i, yi := range t.known {
+	for _, i := range idx {
+		yi := t.known[i]
 		dominated := false
-		for j, yj := range t.known {
+		for _, j := range idx {
 			if i == j {
 				continue
 			}
-			if dominatesVec(yj, yi) {
+			if dominatesVec(t.known[j], yi) {
 				dominated = true
 				break
 			}

@@ -39,6 +39,7 @@ const nProj = 5
 // heuristicCoeffs holds the fixed projection weights and phases, generated
 // once from a fixed seed so the field is a constant of "the tool".
 var heuristicCoeffs = func() (c struct {
+	names []string             // fixed parameter order: float sums must not follow map order
 	w     map[string][]float64 // per-parameter projection weights
 	freq  [nProj]float64
 	phase [3][nProj]float64
@@ -51,6 +52,7 @@ var heuristicCoeffs = func() (c struct {
 		"cong_effort", "max_density", "max_Length", "max_Density",
 		"max_transition", "max_capacitance", "max_fanout", "max_AllowedDelay",
 	}
+	c.names = names
 	for _, n := range names {
 		c.w[n] = make([]float64, nProj)
 	}
@@ -147,8 +149,11 @@ func b2f(b bool) float64 {
 // (power, delay, area), each in [-heuristicAmp, +heuristicAmp].
 func heuristicField(cfg param.Config) (power, delay, area float64) {
 	// Project the reference-scaled configuration onto nProj directions.
+	// Iterate the fixed name order: summing in map-iteration order would
+	// make the last float64 bits of the field vary run to run.
 	var proj [nProj]float64
-	for name, ws := range heuristicCoeffs.w {
+	for _, name := range heuristicCoeffs.names {
+		ws := heuristicCoeffs.w[name]
 		z := fieldCoord(name, physValue(cfg, name))
 		for j := 0; j < nProj; j++ {
 			proj[j] += ws[j] * z
