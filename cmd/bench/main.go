@@ -7,6 +7,13 @@
 // The same benchmarks are exposed to `go test -bench` as BenchmarkFitRefit,
 // BenchmarkPredictPool and BenchmarkAddTarget in the root package; this
 // command exists so CI can archive the numbers without scraping test output.
+//
+// With -against BASELINE.json the command additionally acts as a regression
+// gate: after measuring, it compares the fresh FitRefit ns/op to the
+// baseline's and exits 1 when the fresh number exceeds the baseline by more
+// than -maxregress (a fraction; 0.25 allows +25%). Only FitRefit gates —
+// the other benchmarks are too short-running to be stable across shared CI
+// hosts — but every comparison is printed.
 package main
 
 import (
@@ -51,9 +58,48 @@ func run(name string, fn func(*testing.B)) Result {
 	}
 }
 
+// gate compares the fresh FitRefit measurement against a baseline report
+// and returns an error when it regressed beyond the allowed fraction.
+func gate(fresh Report, baselinePath string, maxRegress float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseNs := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		baseNs[r.Name] = r.NsPerOp
+	}
+	var gateErr error
+	for _, r := range fresh.Results {
+		old, ok := baseNs[r.Name]
+		if !ok || old <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / old
+		verdict := "info"
+		if r.Name == "FitRefit" {
+			verdict = "ok"
+			if ratio > 1+maxRegress {
+				verdict = "REGRESSED"
+				gateErr = fmt.Errorf("FitRefit regressed: %.0f ns/op vs baseline %.0f ns/op (%.2fx > allowed %.2fx)",
+					r.NsPerOp, old, ratio, 1+maxRegress)
+			}
+		}
+		fmt.Printf("gate %-12s %10.0f ns/op vs %10.0f baseline (%.2fx) [%s]\n",
+			r.Name, r.NsPerOp, old, ratio, verdict)
+	}
+	return gateErr
+}
+
 func main() {
 	out := flag.String("o", "BENCH_gp.json", "output file for the JSON benchmark report")
 	benchtime := flag.String("benchtime", "", "per-benchmark budget as a duration or iteration count (e.g. 2s, 1x); empty keeps the testing default")
+	against := flag.String("against", "", "baseline BENCH_gp.json to gate against; exit 1 if FitRefit regresses beyond -maxregress")
+	maxRegress := flag.Float64("maxregress", 0.25, "allowed FitRefit ns/op regression vs -against, as a fraction (0.25 = +25%)")
 	testing.Init()
 	flag.Parse()
 	if *benchtime != "" {
@@ -95,4 +141,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *against != "" {
+		if err := gate(rep, *against, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

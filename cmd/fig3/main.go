@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	fig3 [-seed N] [-csv PATH]
+//	fig3 [-seed N] [-csv PATH] [-json PATH] [-workers N]
+//	     [-checkpoint FILE [-resume]]
+//
+// -checkpoint persists every paid-for observation plus the tuner's RNG
+// state (checkpoint schema v2) so a killed run, restarted with -resume,
+// replays from the file instead of re-running the tool; -workers bounds
+// the engine's concurrency (identical output for any value).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -15,17 +22,66 @@ import (
 	"strings"
 
 	"ppatuner"
+	"ppatuner/internal/eval"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	csvPath := flag.String("csv", "", "optional path to write the two series as CSV")
+	jsonPath := flag.String("json", "", "optional path to write the two series as JSON")
+	workers := flag.Int("workers", 0, "tuner concurrency (0 = engine default; identical output for any value)")
+	ckptPath := flag.String("checkpoint", "", "schema-v2 checkpoint file: observations and RNG state persist there")
+	resume := flag.Bool("resume", false, "continue from an existing -checkpoint file (without it, a pre-existing file is an error)")
 	flag.Parse()
 
-	golden, learned, err := ppatuner.Figure3(*seed)
+	opts := ppatuner.HarnessRunOpts{Workers: *workers}
+	var ck *ppatuner.EvalCheckpoint
+	if *ckptPath != "" {
+		if !*resume {
+			if fi, err := os.Stat(*ckptPath); err == nil && fi.Size() > 0 {
+				fmt.Fprintf(os.Stderr, "fig3: checkpoint %s already exists; pass -resume to continue it or remove the file\n", *ckptPath)
+				os.Exit(2)
+			}
+		}
+		var err error
+		ck, err = ppatuner.LoadCheckpoint(*ckptPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig3: %v\n", err)
+			os.Exit(1)
+		}
+		// Restore the recorded RNG state when resuming; otherwise record the
+		// fresh source's starting state so a later resume does not depend on
+		// re-deriving the generator from the seed.
+		src := eval.Figure3Source(*seed)
+		if state := ck.RandState(); state != nil {
+			if err := src.UnmarshalBinary(state); err != nil {
+				fmt.Fprintf(os.Stderr, "fig3: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("checkpoint: resuming with %d cached observations from %s\n", ck.Len(), *ckptPath)
+		} else {
+			state, err := src.MarshalBinary()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fig3: %v\n", err)
+				os.Exit(1)
+			}
+			if err := ck.SetRandState(state); err != nil {
+				fmt.Fprintf(os.Stderr, "fig3: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		opts.Src = src
+		opts.Wrap = ck.Wrap
+	}
+
+	golden, learned, err := ppatuner.Figure3Opts(*seed, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fig3: %v\n", err)
 		os.Exit(1)
+	}
+	if ck != nil {
+		hits, misses := ck.Stats()
+		fmt.Printf("checkpoint: %d replayed, %d fresh (now %d cached in %s)\n", hits, misses, ck.Len(), *ckptPath)
 	}
 
 	var b strings.Builder
@@ -44,6 +100,25 @@ func main() {
 		fmt.Printf("wrote %s\n", *csvPath)
 	} else {
 		fmt.Print(b.String())
+	}
+
+	if *jsonPath != "" {
+		doc := struct {
+			Seed     int64       `json:"seed"`
+			Golden   [][]float64 `json:"golden"`
+			PPATuner [][]float64 `json:"ppatuner"`
+		}{Seed: *seed, Golden: golden, PPATuner: learned}
+		data, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig3: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fig3: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 
 	fmt.Println()

@@ -1,32 +1,112 @@
 // Command tables regenerates the paper's Table 2 (Scenario One: the whole
 // performance comparison on Target1) and Table 3 (Scenario Two: Target2),
 // running all five tuners over the three objective spaces and averaging over
-// seeds.
+// seeds. Each (space × method × seed) cell is an independent work unit:
+// -workers runs units concurrently (bit-identical output for any value) and
+// -checkpoint persists completed cells plus mid-run tuner state so a killed
+// regeneration resumes with -resume instead of restarting.
 //
 // Usage:
 //
-//	tables [-table 2|3|both] [-seeds N]
+//	tables [-table 2|3|both] [-seeds N|s1,s2,...] [-workers N]
+//	       [-checkpoint FILE [-resume]] [-json FILE]
+//
+// -seeds takes either a count N (averages over seeds 1..N) or an explicit
+// comma-separated seed list such as 1,2,5 (a trailing comma forces list
+// form: "7," runs just seed 7). -json writes the machine-readable
+// TABLES.json document alongside the text tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"ppatuner"
+	"ppatuner/internal/eval"
 )
 
-func main() {
-	table := flag.String("table", "both", "which table to regenerate: 2 | 3 | both")
-	nSeeds := flag.Int("seeds", 3, "number of seeds to average over")
-	flag.Parse()
+// tablesDoc is the TABLES.json document: everything a downstream consumer
+// (the nightly CI pipeline, dashboards) needs to interpret the numbers.
+type tablesDoc struct {
+	GoVersion string             `json:"go_version"`
+	Timestamp string             `json:"timestamp"`
+	Seeds     []int64            `json:"seeds"`
+	Workers   int                `json:"workers"`
+	Tables    []eval.TableReport `json:"tables"`
+}
 
-	seeds := make([]int64, *nSeeds)
+// parseSeeds accepts a count ("3" → seeds 1..3) or an explicit list
+// ("1,2,5"; "7," is the single seed 7).
+func parseSeeds(spec string) ([]int64, error) {
+	spec = strings.TrimSpace(spec)
+	if strings.Contains(spec, ",") {
+		var seeds []int64
+		for _, part := range strings.Split(spec, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			s, err := strconv.ParseInt(part, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed %q is not an integer", part)
+			}
+			seeds = append(seeds, s)
+		}
+		if len(seeds) == 0 {
+			return nil, fmt.Errorf("seed list %q is empty", spec)
+		}
+		return seeds, nil
+	}
+	n, err := strconv.Atoi(spec)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("-seeds wants a count >= 1 or a comma-separated list, got %q", spec)
+	}
+	seeds := make([]int64, n)
 	for i := range seeds {
 		seeds[i] = int64(i + 1)
 	}
+	return seeds, nil
+}
 
+func main() {
+	table := flag.String("table", "both", "which table to regenerate: 2 | 3 | both")
+	seedSpec := flag.String("seeds", "3", "seed count N (averages seeds 1..N) or explicit comma-separated seed list")
+	workers := flag.Int("workers", 1, "table cells to run concurrently (bit-identical output for any value)")
+	ckptPath := flag.String("checkpoint", "", "campaign checkpoint file: completed cells and mid-run tuner state persist there")
+	resume := flag.Bool("resume", false, "continue from an existing -checkpoint file (without it, a pre-existing file is an error)")
+	jsonPath := flag.String("json", "", "write the machine-readable TABLES.json document to this path")
+	flag.Parse()
+
+	seeds, err := parseSeeds(*seedSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(2)
+	}
+
+	var ck *ppatuner.CampaignCheckpoint
+	resumedCells := 0
+	if *ckptPath != "" {
+		if !*resume {
+			if fi, err := os.Stat(*ckptPath); err == nil && fi.Size() > 0 {
+				fmt.Fprintf(os.Stderr, "tables: checkpoint %s already exists; pass -resume to continue it or remove the file\n", *ckptPath)
+				os.Exit(2)
+			}
+		}
+		ck, err = ppatuner.LoadCampaignCheckpoint(*ckptPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		resumedCells = ck.Cells()
+	}
+
+	var reports []eval.TableReport
 	run := func(name string, mk func() (*ppatuner.Scenario, error)) {
 		t0 := time.Now()
 		s, err := mk()
@@ -36,13 +116,15 @@ func main() {
 		}
 		fmt.Printf("— %s (benchmark ready in %v) —\n", name, time.Since(t0).Round(time.Second))
 		t0 = time.Now()
-		tbl, err := ppatuner.BuildTable(s, seeds)
+		c := &ppatuner.Campaign{Scenario: s, Seeds: seeds, Workers: *workers, Checkpoint: ck}
+		tbl, err := c.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Print(tbl.Format())
-		fmt.Printf("(computed in %v over %d seed(s))\n\n", time.Since(t0).Round(time.Second), len(seeds))
+		fmt.Printf("(computed in %v over %d seed(s), %d worker(s))\n\n", time.Since(t0).Round(time.Second), len(seeds), *workers)
+		reports = append(reports, tbl.Report(name, seeds))
 	}
 
 	if *table == "2" || *table == "both" {
@@ -50,5 +132,32 @@ func main() {
 	}
 	if *table == "3" || *table == "both" {
 		run("Table 3", ppatuner.ScenarioTwo)
+	}
+
+	if ck != nil {
+		replayed, fresh := ck.Stats()
+		fmt.Printf("checkpoint: resumed %d completed cells, replayed %d observations, %d fresh evaluations (now %d cells in %s)\n",
+			resumedCells, replayed, fresh, ck.Cells(), *ckptPath)
+	}
+
+	if *jsonPath != "" {
+		doc := tablesDoc{
+			GoVersion: runtime.Version(),
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			Seeds:     seeds,
+			Workers:   *workers,
+			Tables:    reports,
+		}
+		data, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

@@ -26,7 +26,10 @@ call used as a statement, deferred, spawned with go, or assigned to the
 blank identifier — is flagged. The list: mat.NewCholesky,
 mat.CholeskyWithJitter, mat.SolveSPD, (*mat.Cholesky).Extend,
 (*mat.Cholesky).FactorizePacked; robust.LoadCheckpoint,
-(*robust.Checkpoint).Add, (*robust.Checkpoint).Save.`,
+(*robust.Checkpoint).Add, (*robust.Checkpoint).Save,
+(*robust.Checkpoint).SetRandState, (*robust.Checkpoint).SetIters;
+robust.LoadCampaignCheckpoint, (*robust.CampaignCheckpoint).Complete,
+(*robust.CampaignCheckpoint).StartCell.`,
 	Run: run,
 }
 
@@ -41,9 +44,14 @@ var must = map[string]map[string]bool{
 		"Cholesky.FactorizePacked": true,
 	},
 	"ppatuner/internal/robust": {
-		"LoadCheckpoint":  true,
-		"Checkpoint.Add":  true,
-		"Checkpoint.Save": true,
+		"LoadCheckpoint":               true,
+		"Checkpoint.Add":               true,
+		"Checkpoint.Save":              true,
+		"Checkpoint.SetRandState":      true,
+		"Checkpoint.SetIters":          true,
+		"LoadCampaignCheckpoint":       true,
+		"CampaignCheckpoint.Complete":  true,
+		"CampaignCheckpoint.StartCell": true,
 	},
 }
 

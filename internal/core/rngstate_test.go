@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// A snapshot taken mid-stream must let a fresh source continue the exact
+// sequence — the property schema-v2 checkpoint resume rests on.
+func TestPCGSourceStateRoundTrip(t *testing.T) {
+	src := NewPCGSource(7, 11)
+	for i := 0; i < 100; i++ {
+		src.Uint64()
+	}
+	state, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, 50)
+	for i := range want {
+		want[i] = src.Uint64()
+	}
+
+	restored := NewPCGSource(0, 0) // seeds irrelevant: state overwrites them
+	if err := restored.UnmarshalBinary(state); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got := restored.Uint64(); got != w {
+			t.Fatalf("draw %d after restore = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPCGSourceUnmarshalRejectsGarbage(t *testing.T) {
+	src := NewPCGSource(1, 2)
+	if err := src.UnmarshalBinary([]byte("not a pcg state")); err == nil {
+		t.Fatal("garbage state accepted")
+	}
+}
+
+// Restoring a mid-stream snapshot into a *rand.Rand must continue the
+// derived stream (Perm, Float64) identically — i.e. rand.Rand holds no
+// hidden state beyond the source.
+func TestPCGSourceDrivesRandDeterministically(t *testing.T) {
+	src := NewPCGSource(3, 5)
+	rng := rand.New(src)
+	rng.Perm(64)
+	rng.Float64()
+	state, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerm := rng.Perm(32)
+	wantF := rng.Float64()
+
+	src2 := NewPCGSource(9, 9)
+	if err := src2.UnmarshalBinary(state); err != nil {
+		t.Fatal(err)
+	}
+	rng2 := rand.New(src2)
+	gotPerm := rng2.Perm(32)
+	for i := range wantPerm {
+		if gotPerm[i] != wantPerm[i] {
+			t.Fatalf("Perm diverged at %d: %v vs %v", i, gotPerm, wantPerm)
+		}
+	}
+	if gotF := rng2.Float64(); gotF != wantF {
+		t.Fatalf("Float64 after restore = %v, want %v", gotF, wantF)
+	}
+}
+
+// Options.Src alone must be enough to build a tuner, and runs from the same
+// source seeds must be identical to runs from an equally-seeded Rng built
+// from the same source.
+func TestNewWithSrcOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pool := synthPool(rng, 120)
+
+	runWith := func(opt Options) *Result {
+		t.Helper()
+		tn, err := New(pool, poolEval(pool, synthObj, nil), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tn.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	a := runWith(Options{NumObjectives: 2, InitTarget: 8, MaxIter: 40, Src: NewPCGSource(6, 6)})
+	b := runWith(Options{NumObjectives: 2, InitTarget: 8, MaxIter: 40, Rng: rand.New(NewPCGSource(6, 6))})
+	if a.Runs != b.Runs || len(a.ParetoIdx) != len(b.ParetoIdx) {
+		t.Fatalf("Src-built and Rng-built runs diverged: %d/%d runs, %d/%d Pareto",
+			a.Runs, b.Runs, len(a.ParetoIdx), len(b.ParetoIdx))
+	}
+	for i := range a.ParetoIdx {
+		if a.ParetoIdx[i] != b.ParetoIdx[i] {
+			t.Fatalf("Pareto sets diverged: %v vs %v", a.ParetoIdx, b.ParetoIdx)
+		}
+	}
+
+	if _, err := New(pool, poolEval(pool, synthObj, nil), Options{NumObjectives: 2}); err == nil {
+		t.Fatal("tuner built without Rng or Src")
+	}
+}
+
+// RandState exports the source state when it is serialisable and reports
+// progress via Iters; a bare Rng yields (nil, nil).
+func TestTunerRandStateExport(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pool := synthPool(rng, 120)
+
+	tn, err := New(pool, poolEval(pool, synthObj, nil), Options{
+		NumObjectives: 2, InitTarget: 8, MaxIter: 30, Src: NewPCGSource(2, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	state, err := tn.RandState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state == nil {
+		t.Fatal("RandState = nil for a PCG-backed tuner")
+	}
+	if tn.Iters() <= 0 {
+		t.Errorf("Iters = %d after a completed run", tn.Iters())
+	}
+
+	tn2, err := New(pool, poolEval(pool, synthObj, nil), Options{
+		NumObjectives: 2, InitTarget: 8, MaxIter: 30, Rng: rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state2, err := tn2.RandState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state2 != nil {
+		t.Fatalf("RandState = %v for a bare-Rng tuner, want nil", state2)
+	}
+}

@@ -1,0 +1,254 @@
+package eval
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"ppatuner/internal/core"
+	"ppatuner/internal/par"
+	"ppatuner/internal/robust"
+)
+
+// Unit is one independent work item of a table campaign: a single
+// (objective space, method, seed) tuning run on the campaign's scenario.
+// Units are what the parallel scheduler distributes and what the campaign
+// checkpoint keys progress by.
+type Unit struct {
+	SpaceIdx int
+	Method   Method
+	Seed     int64
+}
+
+// UnitResult is one unit's scored outcome.
+type UnitResult struct {
+	HV   float64
+	ADRS float64
+	Runs int
+}
+
+// Campaign is a resumable, parallel table-regeneration run: it enumerates
+// every (space × method × seed) cell of a comparison table as an
+// independent unit, executes the units via internal/par's deterministic
+// fork-join, and — when a Checkpoint is attached — persists each completed
+// unit plus the mid-run state (observations, RNG-source state, iteration
+// count) of units in flight. Results are assembled from a per-unit slice
+// in enumeration order, so any Workers value produces a bit-identical
+// Table; a resumed campaign skips completed units entirely and replays
+// partial ones from their recorded state.
+//
+// Every unit derives its random stream from a PCG seeded by (seed, unit
+// key), independent of the other units — which is both what makes the
+// units order-free under parallel execution and what makes their RNG state
+// individually checkpointable.
+type Campaign struct {
+	Scenario *Scenario
+	Seeds    []int64
+	// Spaces/Methods restrict the table's axes; nil means the paper's full
+	// Spaces()/Methods() sets.
+	Spaces  []ObjSpace
+	Methods []Method
+	// Workers bounds how many units run concurrently; <= 1 runs serially.
+	// Purely a wall-clock knob: the assembled table is bit-identical for
+	// any value.
+	Workers int
+	// Checkpoint, when non-nil, makes the campaign crash-safe and
+	// resumable. Load it with robust.LoadCampaignCheckpoint so an existing
+	// file resumes.
+	Checkpoint *robust.CampaignCheckpoint
+	// Opts is the base harness configuration applied to every unit (Wrap
+	// middleware, engine workers). Opts.Src is ignored: each unit supplies
+	// its own checkpointable source.
+	Opts RunOpts
+	// WrapUnit, when non-nil, wraps each unit's evaluator with the unit's
+	// identity in hand — the hook for per-unit instrumentation (call
+	// counters in tests, per-unit chaos). It composes innermost, beneath
+	// the checkpoint cache, so it sees only fresh tool invocations, never
+	// replayed observations.
+	WrapUnit func(Unit, core.Evaluator) core.Evaluator
+}
+
+func (c *Campaign) spaces() []ObjSpace {
+	if c.Spaces != nil {
+		return c.Spaces
+	}
+	return Spaces()
+}
+
+func (c *Campaign) methods() []Method {
+	if c.Methods != nil {
+		return c.Methods
+	}
+	return Methods()
+}
+
+// Units enumerates the campaign's work items in deterministic order:
+// space-major, then method, then seed — the order Run indexes results by.
+func (c *Campaign) Units() []Unit {
+	spaces, methods := c.spaces(), c.methods()
+	units := make([]Unit, 0, len(spaces)*len(methods)*len(c.Seeds))
+	for si := range spaces {
+		for _, m := range methods {
+			for _, seed := range c.Seeds {
+				units = append(units, Unit{SpaceIdx: si, Method: m, Seed: seed})
+			}
+		}
+	}
+	return units
+}
+
+// UnitKey is the stable checkpoint identity of a unit: scenario, space,
+// method and seed spelled out, so a checkpoint file is self-describing and
+// one file can hold several tables' campaigns.
+func (c *Campaign) UnitKey(u Unit) string {
+	return fmt.Sprintf("%s|%s|%s|seed=%d", c.Scenario.Name, c.spaces()[u.SpaceIdx].Name, u.Method, u.Seed)
+}
+
+// unitSalt folds a unit key into the second PCG seed word, decorrelating
+// the per-unit random streams that share a seed.
+func unitSalt(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Figure3Source is the seed-derived checkpointable random source behind
+// Figure3Opts, exported so cmd/fig3 can snapshot its state for resume.
+func Figure3Source(seed int64) *core.PCGSource {
+	return core.NewPCGSource(uint64(seed), unitSalt("Figure 3"))
+}
+
+// Run executes every unit (skipping ones the checkpoint has completed) and
+// assembles the comparison table. The first unit error in enumeration
+// order aborts the campaign — deterministically, regardless of which
+// worker hit it first; mid-run state persisted before the error is kept,
+// so a fixed and re-run campaign resumes rather than restarts.
+func (c *Campaign) Run() (*Table, error) {
+	if c.Scenario == nil {
+		return nil, fmt.Errorf("eval: campaign has no scenario")
+	}
+	if len(c.Seeds) == 0 {
+		return nil, fmt.Errorf("eval: campaign has no seeds")
+	}
+	units := c.Units()
+	results := make([]UnitResult, len(units))
+	errs := make([]error, len(units))
+	par.Do(c.Workers, len(units), func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			results[x], errs[x] = c.runUnit(units[x])
+		}
+	})
+	for x, err := range errs {
+		if err != nil {
+			u := units[x]
+			return nil, fmt.Errorf("eval: %s / %s / %s / seed %d: %w",
+				c.Scenario.Name, c.spaces()[u.SpaceIdx].Name, u.Method, u.Seed, err)
+		}
+	}
+	t := &Table{Scenario: c.Scenario, Methods: c.methods(), Spaces: c.spaces()}
+	nm, nseed := len(t.Methods), len(c.Seeds)
+	for si := range t.Spaces {
+		rows := make([]Row, nm)
+		for mi := range t.Methods {
+			base := (si*nm + mi) * nseed
+			rows[mi] = aggregate(t.Methods[mi], results[base:base+nseed])
+		}
+		t.Rows = append(t.Rows, rows)
+	}
+	return t, nil
+}
+
+// runUnit executes one unit, consulting and feeding the checkpoint.
+func (c *Campaign) runUnit(u Unit) (UnitResult, error) {
+	key := c.UnitKey(u)
+	ck := c.Checkpoint
+	if ck != nil {
+		if cell, ok := ck.Done(key); ok {
+			return UnitResult{HV: cell.HV, ADRS: cell.ADRS, Runs: cell.Runs}, nil
+		}
+	}
+	src := core.NewPCGSource(uint64(u.Seed), unitSalt(key))
+	if ck != nil {
+		if state, _ := ck.PartialRandState(key); state != nil {
+			// A crashed run left mid-unit state: restore the exact RNG
+			// state it started from. The replayed observations below then
+			// reproduce its draws bit-for-bit, independent of how the seed
+			// maps to a generator today.
+			if err := src.UnmarshalBinary(state); err != nil {
+				return UnitResult{}, err
+			}
+		} else {
+			state, err := src.MarshalBinary()
+			if err != nil {
+				return UnitResult{}, err
+			}
+			if err := ck.StartCell(key, state); err != nil {
+				return UnitResult{}, err
+			}
+		}
+	}
+	opts := c.Opts
+	opts.Src = src
+	prev, wrapUnit := c.Opts.Wrap, c.WrapUnit
+	// Middleware order, innermost first: per-unit hook (sees only real
+	// tool invocations) -> checkpoint cache (replays paid-for
+	// observations) -> the campaign-wide Wrap (fault-tolerance layers
+	// belong outside the cache so retries re-enter the miss path).
+	opts.Wrap = func(ev core.Evaluator) core.Evaluator {
+		if wrapUnit != nil {
+			ev = wrapUnit(u, ev)
+		}
+		if ck != nil {
+			ev = ck.WrapCell(key, ev)
+		}
+		if prev != nil {
+			ev = prev(ev)
+		}
+		return ev
+	}
+	space := c.spaces()[u.SpaceIdx]
+	out, err := RunMethodOpts(u.Method, c.Scenario, space, u.Seed, opts)
+	if err != nil {
+		return UnitResult{}, err
+	}
+	hv, adrs := Score(c.Scenario, space, out)
+	res := UnitResult{HV: hv, ADRS: adrs, Runs: out.Runs}
+	if ck != nil {
+		if err := ck.Complete(key, robust.CampaignCell{HV: hv, ADRS: adrs, Runs: out.Runs}); err != nil {
+			return UnitResult{}, err
+		}
+	}
+	return res, nil
+}
+
+// aggregate reduces one cell's per-seed results to mean ± sample standard
+// deviation, accumulating in seed order so the reduction is bit-identical
+// however the units were scheduled.
+func aggregate(m Method, rs []UnitResult) Row {
+	row := Row{Method: m}
+	n := float64(len(rs))
+	for _, r := range rs {
+		row.HV += r.HV
+		row.ADRS += r.ADRS
+		row.Runs += float64(r.Runs)
+	}
+	row.HV /= n
+	row.ADRS /= n
+	row.Runs /= n
+	if len(rs) > 1 {
+		var vh, va, vr float64
+		for _, r := range rs {
+			dh := r.HV - row.HV
+			da := r.ADRS - row.ADRS
+			dr := float64(r.Runs) - row.Runs
+			vh += dh * dh
+			va += da * da
+			vr += dr * dr
+		}
+		denom := n - 1
+		row.HVStd = math.Sqrt(vh / denom)
+		row.ADRSStd = math.Sqrt(va / denom)
+		row.RunsStd = math.Sqrt(vr / denom)
+	}
+	return row
+}

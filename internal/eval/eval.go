@@ -102,12 +102,19 @@ func ScenarioTwo() (*Scenario, error) {
 	}, nil
 }
 
-// Row is one table cell triple.
+// Row is one table cell: seed-averaged metrics plus their run-to-run
+// noise.
 type Row struct {
 	Method Method
 	HV     float64
 	ADRS   float64
 	Runs   float64
+	// HVStd/ADRSStd/RunsStd are the sample standard deviations over the
+	// seeds (0 when a single seed was run) — the noise bars behind the
+	// means above.
+	HVStd   float64
+	ADRSStd float64
+	RunsStd float64
 }
 
 // Outcome is a single tuning run's result.
@@ -145,6 +152,13 @@ type RunOpts struct {
 	// the parallel sections are deterministic — so this is purely a
 	// wall-clock knob.
 	Workers int
+	// Src, when non-nil, replaces the default seed-derived generator
+	// (rand.New(rand.NewSource(seed))) as the run's random source. Sources
+	// with serialisable state (core.PCGSource) make the RNG state
+	// checkpointable, so a resumed run restores the exact generator state
+	// instead of re-deriving it from the seed. nil keeps legacy callers
+	// bit-for-bit unchanged.
+	Src rand.Source
 }
 
 // RunMethod executes one tuner on one scenario and objective space.
@@ -154,7 +168,12 @@ func RunMethod(m Method, s *Scenario, space ObjSpace, seed int64) (*Outcome, err
 
 // RunMethodOpts is RunMethod with harness options.
 func RunMethodOpts(m Method, s *Scenario, space ObjSpace, seed int64, opts RunOpts) (*Outcome, error) {
-	rng := rand.New(rand.NewSource(seed))
+	var rng *rand.Rand
+	if opts.Src != nil {
+		rng = rand.New(opts.Src)
+	} else {
+		rng = rand.New(rand.NewSource(seed))
+	}
 	pool := s.Target.UnitX()
 	objVecs := s.Target.Objectives(space.Metrics)
 	var eval core.Evaluator = func(i int) ([]float64, error) { return objVecs[i], nil }
@@ -186,6 +205,7 @@ func RunMethodOpts(m Method, s *Scenario, space ObjSpace, seed int64, opts RunOp
 			FitMaxEvals: 400,
 			Workers:     opts.Workers,
 			Rng:         rng,
+			Src:         opts.Src,
 		})
 		if err != nil {
 			return nil, err
@@ -260,54 +280,54 @@ func Score(s *Scenario, space ObjSpace, out *Outcome) (hvErr, adrs float64) {
 	return pareto.HVError(golden, approx, ref), pareto.ADRS(golden, approx)
 }
 
-// Cell runs a method over several seeds and averages the metrics.
+// Cell runs a method over several seeds and aggregates the metrics (mean
+// plus sample standard deviation). It is a single-method, single-space
+// Campaign, so the per-seed results — and the PCG random streams behind
+// them — are identical to the matching cells of a full table campaign.
 func Cell(m Method, s *Scenario, space ObjSpace, seeds []int64) (Row, error) {
-	row := Row{Method: m}
-	for _, seed := range seeds {
-		out, err := RunMethod(m, s, space, seed)
-		if err != nil {
-			return row, err
-		}
-		hv, adrs := Score(s, space, out)
-		row.HV += hv
-		row.ADRS += adrs
-		row.Runs += float64(out.Runs)
+	c := &Campaign{Scenario: s, Seeds: seeds, Spaces: []ObjSpace{space}, Methods: []Method{m}}
+	tbl, err := c.Run()
+	if err != nil {
+		return Row{Method: m}, err
 	}
-	n := float64(len(seeds))
-	row.HV /= n
-	row.ADRS /= n
-	row.Runs /= n
-	return row, nil
+	return tbl.Rows[0][0], nil
 }
 
 // Table holds all rows of one comparison table.
 type Table struct {
 	Scenario *Scenario
+	// Methods and Spaces are the axes the rows were built over; nil means
+	// the full Methods()/Spaces() sets (legacy tables).
+	Methods []Method
+	Spaces  []ObjSpace
 	// Rows[spaceIdx][methodIdx]
 	Rows [][]Row
 }
 
-// BuildTable regenerates one of the paper's comparison tables.
-func BuildTable(s *Scenario, seeds []int64) (*Table, error) {
-	t := &Table{Scenario: s}
-	for _, space := range Spaces() {
-		var rows []Row
-		for _, m := range Methods() {
-			row, err := Cell(m, s, space, seeds)
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s / %s / %s: %w", s.Name, space.Name, m, err)
-			}
-			rows = append(rows, row)
-		}
-		t.Rows = append(t.Rows, rows)
+func (t *Table) methodList() []Method {
+	if t.Methods != nil {
+		return t.Methods
 	}
-	return t, nil
+	return Methods()
+}
+
+func (t *Table) spaceList() []ObjSpace {
+	if t.Spaces != nil {
+		return t.Spaces
+	}
+	return Spaces()
+}
+
+// BuildTable regenerates one of the paper's comparison tables: a serial,
+// uncheckpointed Campaign over the full method and objective-space axes.
+func BuildTable(s *Scenario, seeds []int64) (*Table, error) {
+	return (&Campaign{Scenario: s, Seeds: seeds}).Run()
 }
 
 // Averages returns per-method averages over the objective spaces, in
-// Methods() order.
+// method order.
 func (t *Table) Averages() []Row {
-	methods := Methods()
+	methods := t.methodList()
 	avg := make([]Row, len(methods))
 	for mi, m := range methods {
 		avg[mi].Method = m
@@ -325,28 +345,30 @@ func (t *Table) Averages() []Row {
 }
 
 // Format renders the table in the paper's layout (methods as column groups,
-// objective spaces as rows, plus Average and Ratio rows).
+// objective spaces as rows, plus Average and Ratio rows). Per-space cells
+// carry the seed mean ± sample standard deviation, so run-to-run noise is
+// visible next to every number.
 func (t *Table) Format() string {
 	var b strings.Builder
-	methods := Methods()
+	methods := t.methodList()
 	fmt.Fprintf(&b, "%s\n", t.Scenario.Name)
 	fmt.Fprintf(&b, "%-18s", "Multi-objective")
 	for _, m := range methods {
-		fmt.Fprintf(&b, " | %-9s HV   ADRS   Runs", m)
+		fmt.Fprintf(&b, " | %-9s HV           ADRS         Runs", m)
 	}
 	b.WriteByte('\n')
-	spaces := Spaces()
+	spaces := t.spaceList()
 	for si, rows := range t.Rows {
 		fmt.Fprintf(&b, "%-18s", spaces[si].Name)
 		for _, r := range rows {
-			fmt.Fprintf(&b, " | %9s %.3f  %.3f  %5.0f", "", r.HV, r.ADRS, r.Runs)
+			fmt.Fprintf(&b, " | %9s %.3f±%.3f  %.3f±%.3f  %4.0f±%-3.0f", "", r.HV, r.HVStd, r.ADRS, r.ADRSStd, r.Runs, r.RunsStd)
 		}
 		b.WriteByte('\n')
 	}
 	avg := t.Averages()
 	fmt.Fprintf(&b, "%-18s", "Average")
 	for _, r := range avg {
-		fmt.Fprintf(&b, " | %9s %.3f  %.3f  %5.1f", "", r.HV, r.ADRS, r.Runs)
+		fmt.Fprintf(&b, " | %9s %-11.3f  %-11.3f  %-8.1f", "", r.HV, r.ADRS, r.Runs)
 	}
 	b.WriteByte('\n')
 	// Ratio row: each method's average relative to PPATuner's.
@@ -358,7 +380,7 @@ func (t *Table) Format() string {
 	}
 	fmt.Fprintf(&b, "%-18s", "Ratio")
 	for _, r := range avg {
-		fmt.Fprintf(&b, " | %9s %.3f  %.3f  %.3f", "", safeDiv(r.HV, ppa.HV), safeDiv(r.ADRS, ppa.ADRS), safeDiv(r.Runs, ppa.Runs))
+		fmt.Fprintf(&b, " | %9s %-11.3f  %-11.3f  %-8.3f", "", safeDiv(r.HV, ppa.HV), safeDiv(r.ADRS, ppa.ADRS), safeDiv(r.Runs, ppa.Runs))
 	}
 	b.WriteByte('\n')
 	return b.String()
@@ -375,12 +397,23 @@ func safeDiv(a, b float64) float64 {
 // golden Pareto front and the learned front, each sorted by delay — the two
 // series of the paper's Figure 3.
 func Figure3(seed int64) (golden, learned [][]float64, err error) {
+	return Figure3Opts(seed, RunOpts{})
+}
+
+// Figure3Opts is Figure3 with harness options (evaluator middleware, engine
+// workers, a checkpointable random source). A nil opts.Src is replaced with
+// a seed-derived core.PCGSource so the run's RNG state is always
+// exportable for crash-safe resume.
+func Figure3Opts(seed int64, opts RunOpts) (golden, learned [][]float64, err error) {
 	s, err := ScenarioTwo()
 	if err != nil {
 		return nil, nil, err
 	}
 	space := Spaces()[1] // Power-Delay
-	out, err := RunMethod(PPATuner, s, space, seed)
+	if opts.Src == nil {
+		opts.Src = Figure3Source(seed)
+	}
+	out, err := RunMethodOpts(PPATuner, s, space, seed, opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,297 @@
+package robust
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"ppatuner/internal/core"
+)
+
+// CampaignCell is the persisted result of one completed campaign work unit
+// (one scenario × objective-space × method × seed run).
+type CampaignCell struct {
+	HV   float64 `json:"hv"`
+	ADRS float64 `json:"adrs"`
+	Runs int     `json:"runs"`
+}
+
+// CampaignCheckpoint is the schema-v2 crash-safe store behind resumable
+// table regeneration (internal/eval.Campaign). It persists two layers of
+// progress under caller-chosen stable string keys:
+//
+//   - completed cells: the scored result of a finished unit, so a resumed
+//     campaign skips the unit entirely — not a single evaluator call;
+//   - partial cells: for units in flight, every paid-for observation plus
+//     the serialised RNG-source state the unit started from and the count
+//     of fresh evaluations so far. A resumed unit restores the recorded
+//     RNG state and replays the observations, reproducing the crashed run
+//     bit-for-bit without re-deriving anything from the seed.
+//
+// Every mutation persists via write-to-temp + atomic rename, so a kill
+// mid-write never corrupts the file. All methods are safe for concurrent
+// use by parallel campaign workers.
+type CampaignCheckpoint struct {
+	mu       sync.Mutex
+	path     string
+	cells    map[string]CampaignCell
+	partial  map[string]*partialState
+	replayed int
+	fresh    int
+}
+
+// partialState is the in-memory mid-run record of one unit.
+type partialState struct {
+	order     []int
+	values    map[int][]float64
+	randState []byte
+	iters     int
+}
+
+// campaignPartial is the on-disk form of partialState.
+type campaignPartial struct {
+	Runs      []checkpointRun `json:"runs,omitempty"`
+	RandState []byte          `json:"rand_state,omitempty"`
+	Iters     int             `json:"iters"`
+}
+
+// campaignFile is the on-disk schema. Kind distinguishes campaign files
+// from the per-run observation checkpoints sharing the version numbering.
+type campaignFile struct {
+	Version int                        `json:"version"`
+	Kind    string                     `json:"kind"`
+	Cells   map[string]CampaignCell    `json:"cells"`
+	Partial map[string]campaignPartial `json:"partial,omitempty"`
+}
+
+const campaignKind = "campaign"
+
+// NewCampaignCheckpoint builds an empty campaign checkpoint persisting to
+// path. An empty path keeps it in memory only (useful in tests).
+func NewCampaignCheckpoint(path string) *CampaignCheckpoint {
+	return &CampaignCheckpoint{
+		path:    path,
+		cells:   map[string]CampaignCell{},
+		partial: map[string]*partialState{},
+	}
+}
+
+// LoadCampaignCheckpoint restores a campaign checkpoint from path. A
+// missing file is not an error — it yields an empty checkpoint, so the same
+// call serves both a fresh start and a resume. A file holding a per-run
+// observation checkpoint (cmd/ppatune's -checkpoint format) is rejected
+// with a pointed error rather than silently treated as empty.
+func LoadCampaignCheckpoint(path string) (*CampaignCheckpoint, error) {
+	c := NewCampaignCheckpoint(path)
+	if path == "" {
+		return c, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("robust: read campaign checkpoint: %w", err)
+	}
+	var f campaignFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("robust: parse campaign checkpoint %s: %w", path, err)
+	}
+	if f.Kind != campaignKind {
+		return nil, fmt.Errorf("robust: %s is not a campaign checkpoint (kind %q); per-run observation checkpoints load with LoadCheckpoint", path, f.Kind)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("robust: campaign checkpoint %s has unsupported version %d", path, f.Version)
+	}
+	for key, cell := range f.Cells {
+		c.cells[key] = cell
+	}
+	for key, p := range f.Partial {
+		ps := &partialState{values: map[int][]float64{}, randState: p.RandState, iters: p.Iters}
+		for _, r := range p.Runs {
+			if err := ValidateVector(r.QoR, 0); err != nil {
+				return nil, fmt.Errorf("robust: campaign checkpoint %s, cell %q, entry %d: %v", path, key, r.Index, err)
+			}
+			if _, dup := ps.values[r.Index]; dup {
+				continue
+			}
+			ps.order = append(ps.order, r.Index)
+			ps.values[r.Index] = r.QoR
+		}
+		c.partial[key] = ps
+	}
+	return c, nil
+}
+
+// Done returns the persisted result of a completed cell, if present.
+func (c *CampaignCheckpoint) Done(key string) (CampaignCell, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cell, ok := c.cells[key]
+	return cell, ok
+}
+
+// Cells reports how many completed cells the checkpoint holds.
+func (c *CampaignCheckpoint) Cells() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// Complete records a finished cell, discards its partial state, and
+// persists.
+func (c *CampaignCheckpoint) Complete(key string, cell CampaignCell) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cells[key] = cell
+	delete(c.partial, key)
+	return c.saveLocked()
+}
+
+// PartialRandState returns the RNG-source state recorded when the cell's
+// run started (nil if the cell has no partial state) together with the
+// number of fresh evaluations the crashed run had paid for.
+func (c *CampaignCheckpoint) PartialRandState(key string) (state []byte, iters int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.partial[key]
+	if !ok || p.randState == nil {
+		return nil, 0
+	}
+	return append([]byte(nil), p.randState...), p.iters
+}
+
+// StartCell records the RNG-source state a fresh cell run starts from and
+// persists. If the cell already has partial state — a resumed run — the
+// recorded state wins and the call is a no-op: the caller must restore via
+// PartialRandState instead of overwriting the state the observations were
+// drawn under.
+func (c *CampaignCheckpoint) StartCell(key string, randState []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.partial[key]; ok {
+		return nil
+	}
+	c.partial[key] = &partialState{
+		values:    map[int][]float64{},
+		randState: append([]byte(nil), randState...),
+	}
+	return c.saveLocked()
+}
+
+// Stats reports observations replayed from the checkpoint versus fresh
+// evaluator calls made through WrapCell since load.
+func (c *CampaignCheckpoint) Stats() (replayed, fresh int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replayed, c.fresh
+}
+
+// WrapCell returns an evaluator that answers cell-local observations from
+// the checkpoint when it can and writes through (observation + iteration
+// count, atomically persisted) when it must invoke eval. Like
+// Checkpoint.Wrap, compose it inside any fault-tolerance middleware and
+// never cache invalid vectors: garbage QoR is passed up for the resilience
+// layer to reject so the corruption cannot replay on resume.
+func (c *CampaignCheckpoint) WrapCell(key string, eval core.Evaluator) core.Evaluator {
+	return func(i int) ([]float64, error) {
+		c.mu.Lock()
+		if p, ok := c.partial[key]; ok {
+			if y, ok := p.values[i]; ok {
+				c.replayed++
+				out := append([]float64(nil), y...)
+				c.mu.Unlock()
+				return out, nil
+			}
+		}
+		c.mu.Unlock()
+		y, err := eval(i)
+		if err != nil {
+			return nil, err
+		}
+		if ValidateVector(y, 0) != nil {
+			return y, nil
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.fresh++
+		p, ok := c.partial[key]
+		if !ok {
+			p = &partialState{values: map[int][]float64{}}
+			c.partial[key] = p
+		}
+		if _, dup := p.values[i]; !dup {
+			p.order = append(p.order, i)
+			p.values[i] = append([]float64(nil), y...)
+		}
+		p.iters++
+		if err := c.saveLocked(); err != nil {
+			return nil, err
+		}
+		return y, nil
+	}
+}
+
+// saveLocked persists the campaign file; callers hold c.mu. Maps are
+// flattened over sorted keys so the bytes on disk are deterministic.
+func (c *CampaignCheckpoint) saveLocked() error {
+	if c.path == "" {
+		return nil
+	}
+	f := campaignFile{
+		Version: checkpointVersion,
+		Kind:    campaignKind,
+		Cells:   make(map[string]CampaignCell, len(c.cells)),
+		Partial: make(map[string]campaignPartial, len(c.partial)),
+	}
+	for _, key := range sortedKeys(c.cells) {
+		f.Cells[key] = c.cells[key]
+	}
+	for _, key := range sortedKeys(c.partial) {
+		p := c.partial[key]
+		cp := campaignPartial{RandState: p.randState, Iters: p.iters}
+		for _, i := range p.order {
+			cp.Runs = append(cp.Runs, checkpointRun{Index: i, QoR: p.values[i]})
+		}
+		f.Partial[key] = cp
+	}
+	if len(f.Partial) == 0 {
+		f.Partial = nil
+	}
+	data, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return fmt.Errorf("robust: encode campaign checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("robust: write campaign checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("robust: write campaign checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("robust: write campaign checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("robust: write campaign checkpoint: %w", err)
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order (deterministic file
+// bytes and iteration order; see the maporder analyzer).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,214 @@
+package robust
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCampaignCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	ck := NewCampaignCheckpoint(path)
+	if err := ck.Complete("a|b|c|seed=1", CampaignCell{HV: 0.1, ADRS: 0.2, Runs: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.StartCell("a|b|c|seed=2", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ev := ck.WrapCell("a|b|c|seed=2", func(i int) ([]float64, error) {
+		return []float64{float64(i), 1}, nil
+	})
+	if _, err := ev(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev(9); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := LoadCampaignCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Cells() != 1 {
+		t.Fatalf("reloaded %d completed cells, want 1", re.Cells())
+	}
+	cell, ok := re.Done("a|b|c|seed=1")
+	if !ok || cell.HV != 0.1 || cell.ADRS != 0.2 || cell.Runs != 30 {
+		t.Fatalf("completed cell = %+v, ok=%v", cell, ok)
+	}
+	state, iters := re.PartialRandState("a|b|c|seed=2")
+	if string(state) != "\x01\x02\x03" || iters != 2 {
+		t.Fatalf("partial state = %v, iters = %d", state, iters)
+	}
+	// Replayed observations come back verbatim without calling the tool.
+	replay := re.WrapCell("a|b|c|seed=2", func(i int) ([]float64, error) {
+		t.Fatalf("tool called for cached index %d", i)
+		return nil, nil
+	})
+	y, err := replay(7)
+	if err != nil || y[0] != 7 {
+		t.Fatalf("replayed obs = %v, %v", y, err)
+	}
+	replayed, fresh := re.Stats()
+	if replayed != 1 || fresh != 0 {
+		t.Errorf("stats = (%d, %d), want (1, 0)", replayed, fresh)
+	}
+}
+
+func TestCampaignCheckpointMissingFileIsEmpty(t *testing.T) {
+	ck, err := LoadCampaignCheckpoint(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Cells() != 0 {
+		t.Fatalf("fresh checkpoint has %d cells", ck.Cells())
+	}
+}
+
+func TestCampaignCheckpointRejectsWrongKind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	// A per-run observation checkpoint (cmd/ppatune's format) must be
+	// rejected with a pointed error, not read as empty.
+	perRun := NewCheckpoint(path)
+	if err := perRun.Add(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCampaignCheckpoint(path)
+	if err == nil || !strings.Contains(err.Error(), "not a campaign checkpoint") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// And the reverse direction: garbage JSON is a parse error.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCampaignCheckpoint(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCampaignCheckpointRejectsInvalidVectors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	data := `{"version":2,"kind":"campaign","cells":{},"partial":{"k":{"runs":[{"index":1,"qor":[1,1e999]}],"iters":1}}}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCampaignCheckpoint(path); err == nil {
+		t.Fatal("out-of-range observation accepted from disk")
+	}
+
+	// At runtime, garbage QoR is passed up uncached.
+	ck := NewCampaignCheckpoint("")
+	ev := ck.WrapCell("k", func(i int) ([]float64, error) {
+		return []float64{math.NaN(), 1}, nil
+	})
+	if _, err := ev(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, fresh := ck.Stats(); fresh != 0 {
+		t.Error("invalid vector counted as a cached fresh evaluation")
+	}
+}
+
+func TestCampaignStartCellKeepsRecordedState(t *testing.T) {
+	ck := NewCampaignCheckpoint("")
+	if err := ck.StartCell("k", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	// A resumed run calling StartCell again must not clobber the state the
+	// partial observations were drawn under.
+	if err := ck.StartCell("k", []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	state, _ := ck.PartialRandState("k")
+	if string(state) != "\x09" {
+		t.Fatalf("recorded state overwritten: %v", state)
+	}
+}
+
+func TestCampaignCompleteDiscardsPartial(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	ck := NewCampaignCheckpoint(path)
+	if err := ck.StartCell("k", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	ev := ck.WrapCell("k", func(i int) ([]float64, error) { return []float64{1, 2}, nil })
+	if _, err := ev(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Complete("k", CampaignCell{HV: 1}); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadCampaignCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state, _ := re.PartialRandState("k"); state != nil {
+		t.Error("partial state survived completion")
+	}
+	if _, ok := re.Done("k"); !ok {
+		t.Error("completed cell lost")
+	}
+}
+
+// A hand-written v1 per-run checkpoint (observations only, no RNG state)
+// must load transparently and migrate to v2 on the next save.
+func TestCheckpointV1MigratesToV2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.json")
+	v1 := `{"version":1,"runs":[{"index":4,"qor":[0.5,1.5]},{"index":2,"qor":[1,2]}]}`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Len() != 2 {
+		t.Fatalf("v1 file loaded %d runs, want 2", ck.Len())
+	}
+	if ck.RandState() != nil || ck.Iters() != 0 {
+		t.Errorf("v1 file reported state %v, iters %d; want nil, 0", ck.RandState(), ck.Iters())
+	}
+	if y, ok := ck.Lookup(4); !ok || y[0] != 0.5 {
+		t.Fatalf("v1 observation lost: %v, %v", y, ok)
+	}
+
+	// Any persist migrates the file to the current schema.
+	if err := ck.SetRandState([]byte{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.SetIters(11); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"version": 2`) {
+		t.Fatalf("migrated file is not v2:\n%s", raw)
+	}
+
+	re, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re.RandState()) != "\x07\x08" || re.Iters() != 11 {
+		t.Fatalf("v2 round-trip: state %v, iters %d", re.RandState(), re.Iters())
+	}
+	if y, ok := re.Lookup(2); !ok || y[1] != 2 {
+		t.Fatalf("observation lost across migration: %v, %v", y, ok)
+	}
+}
+
+func TestCheckpointRejectsUnknownVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v9.json")
+	if err := os.WriteFile(path, []byte(`{"version":9,"runs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("future version accepted")
+	}
+}

@@ -21,19 +21,35 @@ import (
 //
 // Invalid vectors (NaN/Inf) are deliberately never cached: persisting
 // garbage QoR would replay the corruption forever.
+//
+// Schema v2 additionally records the tuner's serialised RNG-source state
+// and iteration count (SetRandState/SetIters), so a resumed run can restore
+// the exact generator state instead of re-deriving it from the seed —
+// recovery survives changes to the seed-derivation scheme between the
+// crashed and the resumed process. Version-1 files (observations only) load
+// transparently and are migrated to v2 on the next save.
 type Checkpoint struct {
-	mu     sync.Mutex
-	path   string
-	order  []int
-	values map[int][]float64
-	hits   int
-	misses int
+	mu        sync.Mutex
+	path      string
+	order     []int
+	values    map[int][]float64
+	randState []byte
+	iters     int
+	hits      int
+	misses    int
 }
 
-// checkpointFile is the on-disk schema.
+// checkpointVersion is the schema version written by saveLocked.
+const checkpointVersion = 2
+
+// checkpointFile is the on-disk schema. Version 1 carried Runs only; v2
+// adds the RNG-source state (base64 via encoding/json) and the iteration
+// count of the run that produced the observations.
 type checkpointFile struct {
-	Version int             `json:"version"`
-	Runs    []checkpointRun `json:"runs"`
+	Version   int             `json:"version"`
+	Runs      []checkpointRun `json:"runs"`
+	RandState []byte          `json:"rand_state,omitempty"`
+	Iters     int             `json:"iters,omitempty"`
 }
 
 type checkpointRun struct {
@@ -66,9 +82,11 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("robust: parse checkpoint %s: %w", path, err)
 	}
-	if f.Version != 1 {
+	if f.Version != 1 && f.Version != checkpointVersion {
 		return nil, fmt.Errorf("robust: checkpoint %s has unsupported version %d", path, f.Version)
 	}
+	c.randState = f.RandState
+	c.iters = f.Iters
 	for _, r := range f.Runs {
 		if err := ValidateVector(r.QoR, 0); err != nil {
 			return nil, fmt.Errorf("robust: checkpoint %s entry %d: %v", path, r.Index, err)
@@ -123,6 +141,43 @@ func (c *Checkpoint) Add(i int, y []float64) error {
 	return c.saveLocked()
 }
 
+// SetRandState records the tuner's serialised RNG-source state (schema v2)
+// and persists. Record the state the source had when the run *started*: a
+// resumed run restores it, replays the cached observations, and from there
+// draws exactly the sequence the crashed run would have.
+func (c *Checkpoint) SetRandState(state []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.randState = append([]byte(nil), state...)
+	return c.saveLocked()
+}
+
+// RandState returns the recorded RNG-source state, nil when none was
+// recorded (e.g. a migrated v1 file).
+func (c *Checkpoint) RandState() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.randState == nil {
+		return nil
+	}
+	return append([]byte(nil), c.randState...)
+}
+
+// SetIters records the run's iteration count (schema v2) and persists.
+func (c *Checkpoint) SetIters(n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.iters = n
+	return c.saveLocked()
+}
+
+// Iters returns the recorded iteration count (0 for migrated v1 files).
+func (c *Checkpoint) Iters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.iters
+}
+
 // Save forces a persist of the current state (Add already persists; Save is
 // for explicit flush points).
 func (c *Checkpoint) Save() error {
@@ -135,7 +190,12 @@ func (c *Checkpoint) saveLocked() error {
 	if c.path == "" {
 		return nil
 	}
-	f := checkpointFile{Version: 1, Runs: make([]checkpointRun, 0, len(c.order))}
+	f := checkpointFile{
+		Version:   checkpointVersion,
+		Runs:      make([]checkpointRun, 0, len(c.order)),
+		RandState: c.randState,
+		Iters:     c.iters,
+	}
 	for _, i := range c.order {
 		f.Runs = append(f.Runs, checkpointRun{Index: i, QoR: c.values[i]})
 	}

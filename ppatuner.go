@@ -224,11 +224,37 @@ type EvalCheckpoint = robust.Checkpoint
 
 // NewCheckpoint builds an empty checkpoint; LoadCheckpoint restores one
 // (a missing file yields an empty checkpoint, serving fresh start and
-// resume alike).
+// resume alike). Schema v2 files additionally carry the tuner's serialised
+// RNG-source state and iteration count; v1 files load transparently.
 var (
 	NewCheckpoint  = robust.NewCheckpoint
 	LoadCheckpoint = robust.LoadCheckpoint
 )
+
+// CampaignCheckpoint is the crash-safe store behind resumable table
+// regeneration: completed (space × method × seed) cells plus the mid-run
+// observations, RNG state and iteration count of cells in flight.
+type CampaignCheckpoint = robust.CampaignCheckpoint
+
+// CampaignCellResult is one completed campaign cell as persisted.
+type CampaignCellResult = robust.CampaignCell
+
+// NewCampaignCheckpoint builds an empty campaign checkpoint;
+// LoadCampaignCheckpoint restores one (a missing file yields an empty
+// checkpoint, serving fresh start and resume alike).
+var (
+	NewCampaignCheckpoint  = robust.NewCampaignCheckpoint
+	LoadCampaignCheckpoint = robust.LoadCampaignCheckpoint
+)
+
+// PCGSource is a math/rand/v2 PCG generator adapted to math/rand's
+// Source64, with serialisable state (encoding.BinaryMarshaler) — the
+// random source that makes mid-run RNG state checkpointable. Plumb one
+// through TunerOptions.Src and snapshot it with Tuner.RandState.
+type PCGSource = core.PCGSource
+
+// NewPCGSource builds a PCGSource from two seed words.
+var NewPCGSource = core.NewPCGSource
 
 // ChaosInjector deterministically injects tool faults (transient errors,
 // hangs, panics, corrupted QoR) into an evaluator — the test harness for
@@ -277,6 +303,20 @@ type (
 	HarnessTable = eval.Table
 	// HarnessMethod identifies one of the five compared tuners.
 	HarnessMethod = eval.Method
+	// HarnessRunOpts carries optional harness knobs (evaluator middleware,
+	// engine workers, a checkpointable random source).
+	HarnessRunOpts = eval.RunOpts
+	// Campaign is a resumable, parallel table regeneration: every
+	// (space × method × seed) cell is an independent work unit executed
+	// concurrently and, with a CampaignCheckpoint attached, persisted so a
+	// killed run resumes bit-identically.
+	Campaign = eval.Campaign
+	// CampaignUnit is one campaign work item.
+	CampaignUnit = eval.Unit
+	// CampaignUnitResult is one unit's scored outcome.
+	CampaignUnitResult = eval.UnitResult
+	// TableReport is the machine-readable (TABLES.json) form of a table.
+	TableReport = eval.TableReport
 )
 
 // Harness functions.
@@ -287,4 +327,5 @@ var (
 	Methods     = eval.Methods
 	BuildTable  = eval.BuildTable
 	Figure3     = eval.Figure3
+	Figure3Opts = eval.Figure3Opts
 )
