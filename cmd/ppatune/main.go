@@ -7,7 +7,8 @@
 //	ppatune [-scenario 1|2] [-space area-delay|power-delay|area-power-delay]
 //	        [-method PPATuner|TCAD'19|MLCAD'19|DAC'19|ASPDAC'20] [-seed N]
 //	        [-timeout D] [-retries N] [-policy retry|skip|abort]
-//	        [-checkpoint FILE] [-chaos RATE] [-workers N] [-log]
+//	        [-checkpoint FILE] [-chaos RATE] [-outage PERIOD/DOWN]
+//	        [-breaker N] [-max-outage D] [-workers N] [-log]
 //
 // The fault-tolerance flags harden the evaluation path: -timeout bounds each
 // tool evaluation, -retries bounds re-attempts with exponential backoff,
@@ -15,7 +16,13 @@
 // persists every observation to FILE so a killed run resumes without
 // re-running the tool, and -chaos injects transient faults at the given rate
 // (plus occasional hangs/crashes/corrupt QoR at a tenth of it) to rehearse
-// all of the above.
+// all of the above. -outage adds time-correlated downtime windows (a
+// DOWN-long outage inside every PERIOD stripe, e.g. 60s/10s) on top of the
+// i.i.d. -chaos faults; -breaker arms a circuit breaker that trips after N
+// consecutive transient failures (outage-marked failures trip it at once)
+// and pauses evaluations — for at most -max-outage — instead of burning
+// retry budgets, so an outage stretches wall-clock time but never changes
+// results.
 package main
 
 import (
@@ -40,6 +47,9 @@ func main() {
 	policyName := flag.String("policy", "skip", "failure policy after retries: retry | skip | abort")
 	ckptPath := flag.String("checkpoint", "", "JSON checkpoint file: observations are persisted there and resumed from it")
 	chaosRate := flag.Float64("chaos", 0, "injected transient-fault rate in [0,1) (hangs/panics/corrupt QoR injected at rate/10 each)")
+	outageSpec := flag.String("outage", "", "inject correlated downtime windows: PERIOD/DOWN (e.g. 60s/10s), empty or \"off\" disables")
+	breakerN := flag.Int("breaker", 0, "circuit breaker: trip after N consecutive transient failures and pause instead of retrying (0 disables; outage-marked failures trip immediately)")
+	maxOutage := flag.Duration("max-outage", 5*time.Minute, "abort when one outage episode keeps the breaker open longer than this")
 	workers := flag.Int("workers", 0, "tuner concurrency: surrogate fits, pool sweeps and batched tool calls (0 = engine default; results are identical for any value)")
 	logJSON := flag.Bool("log", false, "stream evaluation-failure events as structured JSON logs on stderr")
 	flag.Parse()
@@ -68,16 +78,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
 		os.Exit(2)
 	}
+	sched, err := ppatuner.ParseOutageSchedule(*outageSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppatune: %v\n", err)
+		os.Exit(2)
+	}
+	if sched.Enabled() && *breakerN <= 0 {
+		fmt.Fprintln(os.Stderr, "ppatune: note: -outage without -breaker burns retry budgets during downtime; pass -breaker to pause instead")
+	}
 	var inj *ppatuner.ChaosInjector
-	if *chaosRate > 0 {
-		inj, err = ppatuner.NewChaos(ppatuner.ChaosOptions{
-			Seed: *seed,
-			Rates: ppatuner.ChaosRates{
+	if *chaosRate > 0 || sched.Enabled() {
+		rates := ppatuner.ChaosRates{}
+		if *chaosRate > 0 {
+			rates = ppatuner.ChaosRates{
 				Transient: *chaosRate,
 				Hang:      *chaosRate / 10,
 				Panic:     *chaosRate / 10,
 				Corrupt:   *chaosRate / 10,
-			},
+			}
+		}
+		inj, err = ppatuner.NewChaos(ppatuner.ChaosOptions{
+			Seed:    *seed,
+			Rates:   rates,
+			Outage:  sched,
 			HangFor: 2 * *timeout,
 		})
 		if err != nil {
@@ -117,6 +140,14 @@ func main() {
 	if *logJSON {
 		flog.Stream(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
 	}
+	var brk *ppatuner.CircuitBreaker
+	if *breakerN > 0 {
+		brk = ppatuner.NewCircuitBreaker(ppatuner.CircuitBreakerOptions{
+			Threshold: *breakerN,
+			MaxOutage: *maxOutage,
+			Log:       flog,
+		})
+	}
 	wrap := func(ev ppatuner.Evaluator) ppatuner.Evaluator {
 		if inj != nil {
 			ev = inj.Wrap(ev)
@@ -129,6 +160,7 @@ func main() {
 			MaxRetries: *retries,
 			Policy:     policy,
 			Seed:       *seed,
+			Breaker:    brk,
 			Log:        flog,
 		})
 		if err != nil {
@@ -152,6 +184,12 @@ func main() {
 	fmt.Printf("tool runs:          %d\n", out.Runs)
 	fmt.Printf("wall time:          %v\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("failures:           %s\n", flog.Summary())
+	if brk != nil {
+		fmt.Printf("breaker:            %d trip(s), final state %s\n", brk.Trips(), brk.State())
+	}
+	if inj != nil && inj.Counts().Outage > 0 {
+		fmt.Printf("outages injected:   %d (schedule %s)\n", inj.Counts().Outage, sched)
+	}
 	if ckpt != nil {
 		hits, misses := ckpt.Stats()
 		fmt.Printf("checkpoint:         %d replayed, %d fresh (now %d cached in %s)\n", hits, misses, ckpt.Len(), *ckptPath)

@@ -5,9 +5,12 @@
 // invariant classes: Cholesky factorisation/solve entry points in
 // internal/mat, whose error is the only signal that a Gram matrix was not
 // positive-definite (proceeding with a half-written factor poisons every
-// downstream NLML and posterior), and checkpoint persistence in
-// internal/robust, where a dropped write error turns the crash-safe resume
-// guarantee into silent data loss.
+// downstream NLML and posterior), and durability/scheduling in
+// internal/robust: a dropped checkpoint write error turns the crash-safe
+// resume guarantee into silent data loss, and a dropped circuit-breaker
+// gate error (Acquire/AwaitRecovery) means evaluating straight through an
+// open breaker — ErrBreakerOpen and ErrOutageDeadline are scheduling
+// signals, not advisories.
 package mustcheck
 
 import (
@@ -29,7 +32,9 @@ mat.CholeskyWithJitter, mat.SolveSPD, (*mat.Cholesky).Extend,
 (*robust.Checkpoint).Add, (*robust.Checkpoint).Save,
 (*robust.Checkpoint).SetRandState, (*robust.Checkpoint).SetIters;
 robust.LoadCampaignCheckpoint, (*robust.CampaignCheckpoint).Complete,
-(*robust.CampaignCheckpoint).StartCell.`,
+(*robust.CampaignCheckpoint).StartCell, (*robust.CampaignCheckpoint).Park,
+(*robust.CampaignCheckpoint).Unpark; (*robust.Breaker).Acquire,
+(*robust.Breaker).AwaitRecovery.`,
 	Run: run,
 }
 
@@ -52,6 +57,10 @@ var must = map[string]map[string]bool{
 		"LoadCampaignCheckpoint":       true,
 		"CampaignCheckpoint.Complete":  true,
 		"CampaignCheckpoint.StartCell": true,
+		"CampaignCheckpoint.Park":      true,
+		"CampaignCheckpoint.Unpark":    true,
+		"Breaker.Acquire":              true,
+		"Breaker.AwaitRecovery":        true,
 	},
 }
 

@@ -42,12 +42,16 @@ type Exemption struct {
 // hung EDA tool invocations) and are kept out of every numerical result.
 var Exempt = []Exemption{
 	{
+		Prefix: "ppatuner/internal/clock",
+		Reason: "the sanctioned wall-clock access point: Real() is the wall clock by definition; every fault-tolerance consumer takes it as an injected Clock so tests substitute the deterministic fake and the nodeterminism exemptions elsewhere stay narrow",
+	},
+	{
 		Prefix: "ppatuner/internal/pdtool/chaos",
-		Reason: "fault injector: simulated hangs sleep on the wall clock by design; which evaluations fail is still drawn from the seeded injector RNG",
+		Reason: "fault injector: simulated hangs and outage-window membership run on an injected Clock (wall clock by default); which evaluations fail is still drawn from the seeded injector RNG or the seed-derived outage schedule",
 	},
 	{
 		Prefix: "ppatuner/internal/robust",
-		Reason: "fault-tolerance layer: deadlines, retry backoff and failure timestamps are wall-clock by contract and never enter QoR vectors",
+		Reason: "fault-tolerance layer: deadlines, retry backoff, circuit-breaker dwells and failure timestamps run on an injected Clock (wall clock by contract) and never enter QoR vectors",
 	},
 }
 

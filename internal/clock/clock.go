@@ -1,0 +1,102 @@
+// Package clock is the single sanctioned wall-clock access point for the
+// fault-tolerance stack (internal/robust, internal/pdtool/chaos). Everything
+// that waits — injected hangs, retry backoff, circuit-breaker dwell times,
+// outage-window arithmetic — goes through a Clock value, so tests substitute
+// a deterministic Fake and an "outage" that would stall a real run for
+// minutes executes in microseconds. The ppalint determinism policy documents
+// this package as the audited exemption; the numerical packages must not
+// import it.
+package clock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock supplies time to the resilience layer. Implementations must be safe
+// for concurrent use.
+type Clock interface {
+	// Now returns the current instant on this clock's timeline.
+	Now() time.Time
+	// Sleep blocks until d has elapsed on this clock's timeline or ctx is
+	// done, returning nil on elapse and ctx.Err() on cancellation. d <= 0
+	// returns immediately.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Fake is a deterministic test clock on a virtual timeline: Sleep advances
+// the timeline by the requested duration and returns immediately, so code
+// that "waits out" an outage window runs in microseconds of real time. The
+// zero value starts at the zero time.Time; NewFake picks the origin.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps int
+}
+
+// NewFake builds a fake clock whose timeline starts at origin.
+func NewFake(origin time.Time) *Fake { return &Fake{now: origin} }
+
+// Now returns the current virtual instant.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Sleep advances the virtual timeline by d and returns. A done context wins
+// over the advance, mirroring the real clock's cancellation contract.
+func (f *Fake) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.sleeps++
+	f.mu.Unlock()
+	return nil
+}
+
+// Advance moves the timeline forward by d without counting as a sleep
+// (manual test control). Negative d is ignored: the timeline is monotonic.
+func (f *Fake) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// Sleeps reports how many Sleep calls advanced the timeline — tests assert
+// that waiting code paths actually waited (virtually) rather than spinning.
+func (f *Fake) Sleeps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sleeps
+}

@@ -1,0 +1,75 @@
+package clock
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestFakeSleepAdvancesVirtualTime(t *testing.T) {
+	origin := time.Unix(0, 0)
+	f := NewFake(origin)
+	start := time.Now()
+	if err := f.Sleep(context.Background(), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if real := time.Since(start); real > time.Second {
+		t.Fatalf("fake sleep took %v of real time", real)
+	}
+	if got := f.Now().Sub(origin); got != 30*time.Second {
+		t.Fatalf("virtual elapsed = %v, want 30s", got)
+	}
+	if f.Sleeps() != 1 {
+		t.Fatalf("sleeps = %d, want 1", f.Sleeps())
+	}
+}
+
+func TestFakeSleepHonoursCancelledContext(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.Sleep(ctx, time.Minute); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := f.Now(); !got.Equal(time.Unix(0, 0)) {
+		t.Fatalf("cancelled sleep advanced the timeline to %v", got)
+	}
+}
+
+func TestFakeAdvanceIsMonotonic(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	f.Advance(5 * time.Second)
+	f.Advance(-time.Hour)
+	if got := f.Now(); !got.Equal(time.Unix(105, 0)) {
+		t.Fatalf("now = %v, want 105s", got)
+	}
+	if f.Sleeps() != 0 {
+		t.Fatalf("Advance counted as a sleep")
+	}
+}
+
+func TestRealSleepElapsesAndCancels(t *testing.T) {
+	c := Real()
+	if err := c.Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("short sleep: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	if err := c.Sleep(ctx, 10*time.Second); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.Now().IsZero() {
+		t.Fatal("real clock returned the zero time")
+	}
+}
+
+func TestSleepZeroReturnsImmediately(t *testing.T) {
+	for _, c := range []Clock{Real(), NewFake(time.Unix(0, 0))} {
+		if err := c.Sleep(context.Background(), 0); err != nil {
+			t.Fatalf("%T zero sleep: %v", c, err)
+		}
+		if err := c.Sleep(context.Background(), -time.Second); err != nil {
+			t.Fatalf("%T negative sleep: %v", c, err)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -56,6 +58,18 @@ type Campaign struct {
 	// resumable. Load it with robust.LoadCampaignCheckpoint so an existing
 	// file resumes.
 	Checkpoint *robust.CampaignCheckpoint
+	// Breaker, when non-nil, makes the campaign outage-tolerant: it must be
+	// the same circuit breaker the Wrap middleware's robust.Evaluator uses
+	// (built with BreakerOptions.Park = true). A unit whose evaluation hits
+	// the open breaker fails with robust.ErrBreakerOpen; instead of failing
+	// the campaign, the scheduler parks the unit (persisting the mark when
+	// a Checkpoint is attached), waits out the outage via
+	// Breaker.AwaitRecovery — bounded by the breaker's MaxOutage deadline —
+	// and requeues the parked units in enumeration order. Parked units keep
+	// their partial checkpoint state, so requeueing replays the paid-for
+	// observations and the final table is bit-identical to a fault-free
+	// run.
+	Breaker *robust.Breaker
 	// Opts is the base harness configuration applied to every unit (Wrap
 	// middleware, engine workers). Opts.Src is ignored: each unit supplies
 	// its own checkpointable source.
@@ -122,7 +136,9 @@ func Figure3Source(seed int64) *core.PCGSource {
 // assembles the comparison table. The first unit error in enumeration
 // order aborts the campaign — deterministically, regardless of which
 // worker hit it first; mid-run state persisted before the error is kept,
-// so a fixed and re-run campaign resumes rather than restarts.
+// so a fixed and re-run campaign resumes rather than restarts. With a
+// Breaker attached, units that hit an open breaker are parked and requeued
+// after recovery instead of aborting — see the Breaker field.
 func (c *Campaign) Run() (*Table, error) {
 	if c.Scenario == nil {
 		return nil, fmt.Errorf("eval: campaign has no scenario")
@@ -133,17 +149,54 @@ func (c *Campaign) Run() (*Table, error) {
 	units := c.Units()
 	results := make([]UnitResult, len(units))
 	errs := make([]error, len(units))
-	par.Do(c.Workers, len(units), func(lo, hi int) {
-		for x := lo; x < hi; x++ {
-			results[x], errs[x] = c.runUnit(units[x])
+	pending := make([]int, len(units))
+	for x := range pending {
+		pending[x] = x
+	}
+	for len(pending) > 0 {
+		idx := pending
+		par.Do(c.Workers, len(idx), func(lo, hi int) {
+			for x := lo; x < hi; x++ {
+				results[idx[x]], errs[idx[x]] = c.runUnit(units[idx[x]])
+			}
+		})
+		// Partition this round's outcomes in enumeration order: breaker
+		// refusals park the unit; anything else aborts the campaign.
+		var parked []int
+		for _, x := range idx {
+			if errs[x] == nil {
+				continue
+			}
+			if c.Breaker != nil && errors.Is(errs[x], robust.ErrBreakerOpen) {
+				parked = append(parked, x)
+				continue
+			}
+			return nil, c.unitError(units[x], errs[x])
 		}
-	})
-	for x, err := range errs {
-		if err != nil {
-			u := units[x]
-			return nil, fmt.Errorf("eval: %s / %s / %s / seed %d: %w",
-				c.Scenario.Name, c.spaces()[u.SpaceIdx].Name, u.Method, u.Seed, err)
+		if len(parked) == 0 {
+			break
 		}
+		for _, x := range parked {
+			if c.Checkpoint != nil {
+				if err := c.Checkpoint.Park(c.UnitKey(units[x])); err != nil {
+					return nil, c.unitError(units[x], err)
+				}
+			}
+		}
+		// Wait out the outage (bounded by the breaker's MaxOutage
+		// deadline), then requeue the parked units in enumeration order.
+		if err := c.Breaker.AwaitRecovery(context.Background()); err != nil {
+			return nil, c.unitError(units[parked[0]], err)
+		}
+		for _, x := range parked {
+			if c.Checkpoint != nil {
+				if err := c.Checkpoint.Unpark(c.UnitKey(units[x])); err != nil {
+					return nil, c.unitError(units[x], err)
+				}
+			}
+			errs[x] = nil
+		}
+		pending = parked
 	}
 	t := &Table{Scenario: c.Scenario, Methods: c.methods(), Spaces: c.spaces()}
 	nm, nseed := len(t.Methods), len(c.Seeds)
@@ -156,6 +209,12 @@ func (c *Campaign) Run() (*Table, error) {
 		t.Rows = append(t.Rows, rows)
 	}
 	return t, nil
+}
+
+// unitError labels a unit failure with the cell it came from.
+func (c *Campaign) unitError(u Unit, err error) error {
+	return fmt.Errorf("eval: %s / %s / %s / seed %d: %w",
+		c.Scenario.Name, c.spaces()[u.SpaceIdx].Name, u.Method, u.Seed, err)
 }
 
 // runUnit executes one unit, consulting and feeding the checkpoint.

@@ -17,6 +17,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"ppatuner/internal/clock"
 )
 
 // ErrTransient is the injected transient tool failure.
@@ -46,15 +48,28 @@ type Options struct {
 	Seed int64
 	// Rates are the injection probabilities.
 	Rates Rates
-	// HangFor is how long an injected hang blocks (default 30s). Context-
-	// aware wrappers (WrapTool) abort the hang on ctx cancellation; plain
-	// wrappers sleep the full duration in an abandoned goroutine.
+	// Outage adds time-correlated downtime windows on top of the i.i.d.
+	// Rates: while a window is open on the injector's virtual timeline
+	// (clock time since New), every attempt fails with ErrOutage before any
+	// per-attempt fault draw is made. Outage failures therefore neither
+	// consume a (candidate, attempt) draw nor shift the i.i.d. schedule.
+	Outage Schedule
+	// HangFor is how long an injected hang blocks (default 30s). Hangs
+	// sleep on Clock and observe ctx cancellation in both wrappers, so a
+	// deadline (or a fake clock) ends them without stranding a goroutine in
+	// a real 30s sleep.
 	HangFor time.Duration
+	// Clock supplies the injector's timeline: outage-window membership and
+	// hang sleeps. Defaults to the wall clock; tests install a clock.Fake
+	// so outage scenarios run in microseconds.
+	Clock clock.Clock
 }
 
 // Injector deterministically injects faults into an evaluator.
 type Injector struct {
-	opt Options
+	opt   Options
+	clk   clock.Clock
+	start time.Time
 
 	mu       sync.Mutex
 	attempts map[int]int
@@ -63,11 +78,11 @@ type Injector struct {
 
 // Counts reports how many of each fault the injector has dealt.
 type Counts struct {
-	Transient, Hang, Panic, Corrupt, Clean int
+	Transient, Hang, Panic, Corrupt, Outage, Clean int
 }
 
 // Total is the number of injected faults (everything but Clean).
-func (c Counts) Total() int { return c.Transient + c.Hang + c.Panic + c.Corrupt }
+func (c Counts) Total() int { return c.Transient + c.Hang + c.Panic + c.Corrupt + c.Outage }
 
 // New validates the rates and builds an injector.
 func New(opt Options) (*Injector, error) {
@@ -80,10 +95,31 @@ func New(opt Options) (*Injector, error) {
 	if r.total() > 1 {
 		return nil, fmt.Errorf("chaos: rates sum to %v > 1", r.total())
 	}
+	if err := opt.Outage.validate(); err != nil {
+		return nil, err
+	}
 	if opt.HangFor <= 0 {
 		opt.HangFor = 30 * time.Second
 	}
-	return &Injector{opt: opt, attempts: map[int]int{}}, nil
+	if opt.Clock == nil {
+		opt.Clock = clock.Real()
+	}
+	return &Injector{
+		opt:      opt,
+		clk:      opt.Clock,
+		start:    opt.Clock.Now(),
+		attempts: map[int]int{},
+	}, nil
+}
+
+// Elapsed is the injector's virtual timeline position: clock time since New.
+// Outage-window membership is a function of it alone.
+func (in *Injector) Elapsed() time.Duration { return in.clk.Now().Sub(in.start) }
+
+// OutageRemaining reports how much of the current outage window is left
+// (0 when the injector is up) — recovery logic sizes its pause with it.
+func (in *Injector) OutageRemaining() time.Duration {
+	return in.opt.Outage.Remaining(in.Elapsed())
 }
 
 // Counts returns a snapshot of the fault tally.
@@ -95,13 +131,14 @@ func (in *Injector) Counts() Counts {
 
 // Wrap makes a plain evaluator (the core.Evaluator shape — the signatures
 // are kept unnamed so values flow between packages without conversion)
-// faulty. Injected hangs block in time.Sleep for HangFor (they cannot
-// observe cancellation); use WrapTool when the caller supplies a context.
+// faulty. Injected hangs sleep on the injector's Clock, so a fake clock
+// collapses them to microseconds; with the real clock and no context there
+// is nothing to cancel them, so undisciplined callers still pay HangFor —
+// in their own goroutine, never a stranded extra one.
 func (in *Injector) Wrap(eval func(i int) ([]float64, error)) func(i int) ([]float64, error) {
 	return func(i int) ([]float64, error) {
 		return in.invoke(context.Background(), i,
-			func(context.Context) ([]float64, error) { return eval(i) },
-			func(ctx context.Context, d time.Duration) { time.Sleep(d) })
+			func(context.Context) ([]float64, error) { return eval(i) })
 	}
 }
 
@@ -111,22 +148,21 @@ func (in *Injector) Wrap(eval func(i int) ([]float64, error)) func(i int) ([]flo
 func (in *Injector) WrapTool(tool func(ctx context.Context, i int) ([]float64, error)) func(ctx context.Context, i int) ([]float64, error) {
 	return func(ctx context.Context, i int) ([]float64, error) {
 		return in.invoke(ctx, i,
-			func(ctx context.Context) ([]float64, error) { return tool(ctx, i) },
-			sleepCtx)
+			func(ctx context.Context) ([]float64, error) { return tool(ctx, i) })
 	}
 }
 
-func sleepCtx(ctx context.Context, d time.Duration) {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-	case <-ctx.Done():
+// invoke injects the fault for this attempt and acts on it: a correlated
+// outage window (a function of the clock alone) takes precedence; otherwise
+// the i.i.d. (candidate, attempt) draw decides.
+func (in *Injector) invoke(ctx context.Context, i int, call func(context.Context) ([]float64, error)) ([]float64, error) {
+	if in.opt.Outage.Enabled() {
+		if el := in.Elapsed(); in.opt.Outage.InWindow(el) {
+			in.count(func(c *Counts) { c.Outage++ })
+			return nil, fmt.Errorf("chaos: candidate %d at +%v: %w", i, el.Round(time.Millisecond), ErrOutage)
+		}
 	}
-}
 
-// invoke draws the fault for this (candidate, attempt) pair and acts on it.
-func (in *Injector) invoke(ctx context.Context, i int, call func(context.Context) ([]float64, error), sleep func(context.Context, time.Duration)) ([]float64, error) {
 	in.mu.Lock()
 	attempt := in.attempts[i]
 	in.attempts[i]++
@@ -140,7 +176,7 @@ func (in *Injector) invoke(ctx context.Context, i int, call func(context.Context
 		return nil, fmt.Errorf("chaos: candidate %d attempt %d: %w", i, attempt, ErrTransient)
 	case u < r.Transient+r.Hang:
 		in.count(func(c *Counts) { c.Hang++ })
-		sleep(ctx, in.opt.HangFor)
+		_ = in.clk.Sleep(ctx, in.opt.HangFor)
 		// A hang that "wakes up" (no deadline configured, or context-aware
 		// cancellation) still fails transiently, so undisciplined callers
 		// cannot mistake it for success.

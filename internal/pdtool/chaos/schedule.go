@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// outageError is the sentinel behind ErrOutage. It implements the
+// Outage() bool marker interface the resilience layer sniffs with errors.As,
+// so real tool adapters can mark their own licence-server errors the same
+// way without importing this package.
+type outageError struct{}
+
+func (outageError) Error() string { return "chaos: licence server down (injected outage)" }
+
+// Outage marks this error as a correlated-infrastructure failure rather
+// than a per-call fault.
+func (outageError) Outage() bool { return true }
+
+// ErrOutage is the injected correlated outage: every attempt landing inside
+// a Schedule window fails with an error wrapping it, regardless of
+// candidate or attempt number. Distinguish it from ErrTransient with
+// errors.Is, or provider-agnostically via the Outage() bool interface.
+var ErrOutage error = outageError{}
+
+// Window is one downtime interval on the injector's virtual timeline
+// (durations since the injector was built): [Start, End).
+type Window struct {
+	Start, End time.Duration
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Duration) bool { return t >= w.Start && t < w.End }
+
+// Schedule describes time-correlated outage windows: intervals during which
+// *every* evaluation attempt fails together, the way a licence-daemon or
+// compute-farm outage takes down all in-flight tool runs at once. Unlike
+// Rates, which draws an independent fault per (candidate, attempt), a
+// Schedule's failures are a function of the (virtual) clock alone.
+//
+// Two forms compose the model:
+//
+//   - Explicit Windows pin exact downtime intervals — the form tests use.
+//   - A periodic spec (Period, Down, Jitter, Seed) derives window k inside
+//     every [k·Period, (k+1)·Period) stripe: the window starts at
+//     k·Period + u_k·Jitter·(Period−Down) for a seed-derived u_k ∈ [0,1)
+//     and lasts Down. Jitter = 0 is strict licence-server maintenance;
+//     Jitter near 1 models bursty farm preemption. Windows never overlap
+//     or cross stripe boundaries, so membership is O(1) and deterministic.
+//
+// When both are set, explicit Windows win. The zero Schedule is disabled.
+type Schedule struct {
+	// Period is the stripe length of the periodic form (> Down).
+	Period time.Duration
+	// Down is how long each periodic window lasts.
+	Down time.Duration
+	// Jitter in [0,1) shifts each periodic window inside its stripe by a
+	// seed-derived fraction of the slack (Period − Down).
+	Jitter float64
+	// Seed drives the per-window jitter draws; independent of the fault
+	// seed so outage placement and i.i.d. faults do not correlate.
+	Seed int64
+	// Windows, when non-empty, are the exact downtime intervals (explicit
+	// form; Period/Down/Jitter are ignored).
+	Windows []Window
+}
+
+// scheduleSeedSalt decorrelates window-jitter draws from the injector's
+// per-(candidate, attempt) fault draws that may share the same seed.
+const scheduleSeedSalt = 0x6f757461676573 // "outages"
+
+// Enabled reports whether the schedule injects anything.
+func (s Schedule) Enabled() bool {
+	return len(s.Windows) > 0 || (s.Period > 0 && s.Down > 0)
+}
+
+// validate rejects malformed schedules at injector construction.
+func (s Schedule) validate() error {
+	if len(s.Windows) > 0 {
+		for i, w := range s.Windows {
+			if w.Start < 0 || w.End <= w.Start {
+				return fmt.Errorf("chaos: outage window %d [%v, %v) is malformed", i, w.Start, w.End)
+			}
+		}
+		return nil
+	}
+	if s.Period == 0 && s.Down == 0 {
+		return nil // disabled
+	}
+	if s.Period <= 0 || s.Down <= 0 {
+		return fmt.Errorf("chaos: outage schedule wants Period and Down > 0, got %v/%v", s.Period, s.Down)
+	}
+	if s.Down >= s.Period {
+		return fmt.Errorf("chaos: outage Down %v must be shorter than Period %v", s.Down, s.Period)
+	}
+	if s.Jitter < 0 || s.Jitter >= 1 {
+		return fmt.Errorf("chaos: outage Jitter %v out of [0,1)", s.Jitter)
+	}
+	return nil
+}
+
+// WindowAt returns the downtime window covering virtual time t, if any.
+func (s Schedule) WindowAt(t time.Duration) (Window, bool) {
+	if t < 0 || !s.Enabled() {
+		return Window{}, false
+	}
+	if len(s.Windows) > 0 {
+		for _, w := range s.Windows {
+			if w.Contains(t) {
+				return w, true
+			}
+		}
+		return Window{}, false
+	}
+	k := int(t / s.Period)
+	w := s.periodicWindow(k)
+	if w.Contains(t) {
+		return w, true
+	}
+	return Window{}, false
+}
+
+// periodicWindow derives window k of the periodic form.
+func (s Schedule) periodicWindow(k int) Window {
+	slack := s.Period - s.Down
+	shift := time.Duration(hash01(s.Seed^scheduleSeedSalt, k, 0) * s.Jitter * float64(slack))
+	start := time.Duration(k)*s.Period + shift
+	return Window{Start: start, End: start + s.Down}
+}
+
+// InWindow reports whether virtual time t lies inside a downtime window.
+func (s Schedule) InWindow(t time.Duration) bool {
+	_, ok := s.WindowAt(t)
+	return ok
+}
+
+// Remaining returns how long the window covering t still has to run (0 when
+// t is up). Recovery logic uses it to size pauses instead of polling.
+func (s Schedule) Remaining(t time.Duration) time.Duration {
+	w, ok := s.WindowAt(t)
+	if !ok {
+		return 0
+	}
+	return w.End - t
+}
+
+// String renders the periodic spec in the CLI "PERIOD/DOWN" form (explicit
+// windows are listed verbatim).
+func (s Schedule) String() string {
+	if !s.Enabled() {
+		return "off"
+	}
+	if len(s.Windows) > 0 {
+		parts := make([]string, len(s.Windows))
+		for i, w := range s.Windows {
+			parts[i] = fmt.Sprintf("[%v,%v)", w.Start, w.End)
+		}
+		return strings.Join(parts, " ")
+	}
+	return fmt.Sprintf("%v/%v", s.Period, s.Down)
+}
+
+// ParseSchedule reads the CLI spelling "PERIOD/DOWN" (e.g. "60s/10s": a
+// 10-second outage inside every 60-second stripe). The empty string is the
+// disabled schedule.
+func ParseSchedule(spec string) (Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return Schedule{}, nil
+	}
+	period, down, ok := strings.Cut(spec, "/")
+	if !ok {
+		return Schedule{}, fmt.Errorf("chaos: outage spec %q wants PERIOD/DOWN (e.g. 60s/10s)", spec)
+	}
+	p, err := time.ParseDuration(strings.TrimSpace(period))
+	if err != nil {
+		return Schedule{}, fmt.Errorf("chaos: outage period: %w", err)
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(down))
+	if err != nil {
+		return Schedule{}, fmt.Errorf("chaos: outage downtime: %w", err)
+	}
+	s := Schedule{Period: p, Down: d}
+	if err := s.validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}

@@ -39,6 +39,7 @@ type CampaignCheckpoint struct {
 	path     string
 	cells    map[string]CampaignCell
 	partial  map[string]*partialState
+	parked   map[string]bool
 	replayed int
 	fresh    int
 }
@@ -65,6 +66,13 @@ type campaignFile struct {
 	Kind    string                     `json:"kind"`
 	Cells   map[string]CampaignCell    `json:"cells"`
 	Partial map[string]campaignPartial `json:"partial,omitempty"`
+	// Parked lists units waiting out an infrastructure outage when the file
+	// was written (sorted). A kill during the outage leaves them here; a
+	// resumed campaign re-runs them like any incomplete unit, replaying
+	// their partial observations, so the field is diagnostic — it records
+	// *why* the unit is incomplete. Completion clears it, so a finished
+	// campaign's file carries no trace of the outage.
+	Parked []string `json:"parked,omitempty"`
 }
 
 const campaignKind = "campaign"
@@ -76,6 +84,7 @@ func NewCampaignCheckpoint(path string) *CampaignCheckpoint {
 		path:    path,
 		cells:   map[string]CampaignCell{},
 		partial: map[string]*partialState{},
+		parked:  map[string]bool{},
 	}
 }
 
@@ -123,7 +132,40 @@ func LoadCampaignCheckpoint(path string) (*CampaignCheckpoint, error) {
 		}
 		c.partial[key] = ps
 	}
+	for _, key := range f.Parked {
+		c.parked[key] = true
+	}
 	return c, nil
+}
+
+// Park marks a unit as waiting out an outage and persists, so a kill during
+// the outage records why the unit is incomplete. Completion clears the mark.
+func (c *CampaignCheckpoint) Park(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.parked[key] {
+		return nil
+	}
+	c.parked[key] = true
+	return c.saveLocked()
+}
+
+// Unpark clears a unit's parked mark (requeue time) and persists.
+func (c *CampaignCheckpoint) Unpark(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.parked[key] {
+		return nil
+	}
+	delete(c.parked, key)
+	return c.saveLocked()
+}
+
+// Parked returns the sorted unit keys currently marked as parked.
+func (c *CampaignCheckpoint) Parked() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return sortedKeys(c.parked)
 }
 
 // Done returns the persisted result of a completed cell, if present.
@@ -148,6 +190,7 @@ func (c *CampaignCheckpoint) Complete(key string, cell CampaignCell) error {
 	defer c.mu.Unlock()
 	c.cells[key] = cell
 	delete(c.partial, key)
+	delete(c.parked, key)
 	return c.saveLocked()
 }
 
@@ -260,6 +303,9 @@ func (c *CampaignCheckpoint) saveLocked() error {
 	}
 	if len(f.Partial) == 0 {
 		f.Partial = nil
+	}
+	if len(c.parked) > 0 {
+		f.Parked = sortedKeys(c.parked)
 	}
 	data, err := json.MarshalIndent(&f, "", " ")
 	if err != nil {

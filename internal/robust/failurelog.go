@@ -21,6 +21,13 @@ const (
 	KindPanic Kind = "panic"
 	// KindInvalid is a malformed QoR vector (NaN/Inf/wrong length).
 	KindInvalid Kind = "invalid"
+	// KindOutage is a correlated infrastructure outage (IsOutage): every
+	// in-flight evaluation fails together, e.g. a licence-server window.
+	KindOutage Kind = "outage"
+	// KindBreaker is a circuit-breaker state transition, recorded with
+	// Index and Attempt of -1 — run-level machinery, not a per-candidate
+	// failure.
+	KindBreaker Kind = "breaker"
 )
 
 // classify maps an attempt error to its Kind.
@@ -34,6 +41,8 @@ func classify(err error) Kind {
 		return KindInvalid
 	case errors.Is(err, context.DeadlineExceeded):
 		return KindTimeout
+	case IsOutage(err):
+		return KindOutage
 	default:
 		return KindError
 	}
@@ -134,8 +143,42 @@ func (l *FailureLog) Terminal() int {
 	return n
 }
 
+// Outages counts outage-classified failure events.
+func (l *FailureLog) Outages() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.events {
+		if ev.Kind == KindOutage {
+			n++
+		}
+	}
+	return n
+}
+
+// BreakerTransitions counts recorded circuit-breaker state transitions.
+func (l *FailureLog) BreakerTransitions() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.events {
+		if ev.Kind == KindBreaker {
+			n++
+		}
+	}
+	return n
+}
+
 // Summary renders a one-line per-kind digest, e.g.
-// "7 failures (error:4 timeout:2 panic:1), 1 terminal".
+// "9 failures (error:4 timeout:2 outage:3), 1 terminal, 4 breaker transitions".
+// Breaker transitions are machinery, not failures, so they are tallied
+// separately from the failure count.
 func (l *FailureLog) Summary() string {
 	if l.Len() == 0 {
 		return "no failures"
@@ -151,11 +194,20 @@ func (l *FailureLog) Summary() string {
 	}
 	total := len(l.events)
 	l.mu.Unlock()
+	transitions := byKind[KindBreaker]
+	total -= transitions
 	parts := make([]string, 0, len(byKind))
-	for _, k := range []Kind{KindError, KindTimeout, KindPanic, KindInvalid} {
+	for _, k := range []Kind{KindError, KindTimeout, KindPanic, KindInvalid, KindOutage} {
 		if n := byKind[k]; n > 0 {
 			parts = append(parts, fmt.Sprintf("%s:%d", k, n))
 		}
 	}
-	return fmt.Sprintf("%d failures (%s), %d terminal", total, strings.Join(parts, " "), terminal)
+	if total == 0 {
+		return fmt.Sprintf("no failures, %d breaker transitions", transitions)
+	}
+	s := fmt.Sprintf("%d failures (%s), %d terminal", total, strings.Join(parts, " "), terminal)
+	if transitions > 0 {
+		s += fmt.Sprintf(", %d breaker transitions", transitions)
+	}
+	return s
 }

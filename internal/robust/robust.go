@@ -15,6 +15,9 @@
 //     surrogates;
 //   - a FailurePolicy deciding whether an exhausted candidate aborts the run
 //     or is skipped (the tuner marks it core.Failed and continues);
+//   - an optional run-level circuit Breaker: correlated failures (a licence
+//     server or farm outage takes down every in-flight run at once) pause or
+//     park evaluations instead of exhausting per-candidate retry budgets;
 //   - a shared, concurrency-safe FailureLog for post-run diagnostics.
 //
 // The checkpoint file in checkpoint.go completes the story: observations are
@@ -28,9 +31,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
+	"ppatuner/internal/clock"
 	"ppatuner/internal/core"
 )
 
@@ -70,9 +75,10 @@ func (p FailurePolicy) String() string {
 	}
 }
 
-// ParsePolicy maps the CLI spelling to a FailurePolicy.
+// ParsePolicy maps the CLI spelling to a FailurePolicy, case-insensitively
+// ("Skip" and "SKIP" mean skip).
 func ParsePolicy(s string) (FailurePolicy, error) {
-	switch s {
+	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "retry":
 		return PolicyRetry, nil
 	case "skip":
@@ -108,8 +114,19 @@ type Options struct {
 	NumObjectives int
 	// Seed drives backoff jitter (deterministic; default 1).
 	Seed int64
-	// Sleep replaces time.Sleep between retries (test hook).
+	// Clock supplies retry-backoff timing (default: the wall clock). Tests
+	// install a clock.Fake so backoff-heavy paths run in microseconds.
+	Clock clock.Clock
+	// Sleep replaces the clock's sleep between retries (test hook; default
+	// sleeps on Clock).
 	Sleep func(time.Duration)
+	// Breaker, when non-nil, is the run-level circuit breaker shared by
+	// every evaluation. Outage-marked failures (IsOutage) trip it
+	// immediately and other transients count toward its threshold; while it
+	// is open, evaluations pause (or park, per BreakerOptions.Park) instead
+	// of consuming per-candidate retry budgets, so a correlated outage
+	// stretches wall-clock time but never changes which candidates succeed.
+	Breaker *Breaker
 	// Log, when non-nil, receives every failure event. A single log may be
 	// shared by several evaluators.
 	Log *FailureLog
@@ -131,8 +148,12 @@ func (o *Options) setDefaults() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Clock == nil {
+		o.Clock = clock.Real()
+	}
 	if o.Sleep == nil {
-		o.Sleep = time.Sleep
+		clk := o.Clock
+		o.Sleep = func(d time.Duration) { _ = clk.Sleep(context.Background(), d) }
 	}
 }
 
@@ -224,20 +245,35 @@ func (e *Evaluator) Evaluate(i int) ([]float64, error) {
 		attempts = 1
 	}
 	var lastErr error
-	for a := 0; a < attempts; a++ {
+	for a := 0; a < attempts; {
 		if err := e.ctx.Err(); err != nil {
 			return nil, fmt.Errorf("robust: evaluation %d: %w", i, err)
+		}
+		if b := e.opt.Breaker; b != nil {
+			// The breaker gates every attempt: while open, this pauses (or
+			// parks with ErrBreakerOpen) without touching the candidate's
+			// retry budget — an outage is not the candidate's fault.
+			if err := b.Acquire(e.ctx); err != nil {
+				return nil, fmt.Errorf("robust: evaluation %d: %w", i, err)
+			}
 		}
 		if a > 0 {
 			e.opt.Sleep(e.backoff(a))
 		}
 		y, err := e.attempt(i)
 		if err == nil {
+			// The tool answered: the infrastructure is up, whatever the
+			// vector says.
+			if b := e.opt.Breaker; b != nil {
+				b.OnSuccess()
+			}
 			if verr := ValidateVector(y, e.opt.NumObjectives); verr != nil {
 				err = &ValidationError{Index: i, Reason: verr.Error()}
 			} else {
 				return y, nil
 			}
+		} else if b := e.opt.Breaker; b != nil {
+			b.OnFailure(err)
 		}
 		lastErr = err
 		// Run-scope cancellation is not a tool failure: stop immediately and
@@ -246,7 +282,15 @@ func (e *Evaluator) Evaluate(i int) ([]float64, error) {
 		if e.ctx.Err() != nil {
 			return nil, err
 		}
+		if e.opt.Breaker != nil && IsOutage(err) {
+			// Correlated outage with a breaker in charge: log it, but do not
+			// charge the candidate — the next Acquire pauses until recovery
+			// (bounded by the breaker's MaxOutage deadline) or parks.
+			e.opt.Log.add(Event{Index: i, Attempt: a, Kind: KindOutage, Err: err.Error()})
+			continue
+		}
 		e.opt.Log.add(Event{Index: i, Attempt: a, Kind: classify(err), Err: err.Error(), Terminal: a == attempts-1})
+		a++
 	}
 	switch e.opt.Policy {
 	case PolicySkip:

@@ -33,6 +33,7 @@ package ppatuner
 
 import (
 	"ppatuner/internal/benchdata"
+	"ppatuner/internal/clock"
 	"ppatuner/internal/core"
 	"ppatuner/internal/eval"
 	"ppatuner/internal/gp"
@@ -270,6 +271,77 @@ type (
 
 // NewChaos builds a chaos injector.
 var NewChaos = chaos.New
+
+// OutageSchedule describes time-correlated downtime windows (periodic
+// licence-server maintenance, bursty farm preemption) on the injector's
+// virtual timeline, composable with the i.i.d. ChaosRates; OutageWindow is
+// one downtime interval. Set ChaosOptions.Outage to inject them.
+type (
+	OutageSchedule = chaos.Schedule
+	OutageWindow   = chaos.Window
+)
+
+// ErrToolOutage is the injected correlated-outage failure: every attempt
+// inside a downtime window fails with an error wrapping it. It carries the
+// Outage() bool marker that IsOutageError (and the circuit breaker) detect,
+// so real tool adapters can mark their own licence-server errors the same
+// way without depending on the chaos package.
+var ErrToolOutage = chaos.ErrOutage
+
+// ParseOutageSchedule reads the CLI "PERIOD/DOWN" outage spelling (e.g.
+// "60s/10s"); "" and "off" are the disabled schedule.
+var ParseOutageSchedule = chaos.ParseSchedule
+
+// IsOutageError reports whether an error is marked as a correlated
+// infrastructure outage (any error in its chain implements Outage() bool
+// returning true).
+var IsOutageError = robust.IsOutage
+
+// CircuitBreaker converts per-call failures into a run-level "the
+// infrastructure is down" signal: consecutive transient failures (or a
+// single outage-marked one) trip it open, evaluations pause — bounded by
+// MaxOutage — instead of burning per-candidate retry budgets, and a
+// half-open probe re-admits work. Share one breaker per run via
+// ResilientOptions.Breaker and, for parked campaign scheduling, via
+// Campaign.Breaker.
+type (
+	CircuitBreaker        = robust.Breaker
+	CircuitBreakerOptions = robust.BreakerOptions
+	CircuitBreakerState   = robust.BreakerState
+)
+
+// The circuit breaker's positions.
+const (
+	BreakerClosed   = robust.BreakerClosed
+	BreakerOpen     = robust.BreakerOpen
+	BreakerHalfOpen = robust.BreakerHalfOpen
+)
+
+// NewCircuitBreaker builds a circuit breaker.
+var NewCircuitBreaker = robust.NewBreaker
+
+// ErrBreakerOpen is the scheduling signal a Park-mode breaker returns while
+// refusing evaluations; ErrOutageDeadline reports an outage episode that
+// outlived CircuitBreakerOptions.MaxOutage.
+var (
+	ErrBreakerOpen    = robust.ErrBreakerOpen
+	ErrOutageDeadline = robust.ErrOutageDeadline
+)
+
+// Clock abstracts wall-clock access (now/sleep) for everything in the
+// fault-tolerance stack; RealClock is the wall clock, and NewFakeClock
+// builds the deterministic test clock that makes outage scenarios run in
+// microseconds.
+type Clock = clock.Clock
+
+// FakeClock is the deterministic jump-ahead Clock for tests.
+type FakeClock = clock.Fake
+
+// RealClock returns the wall clock; NewFakeClock a deterministic fake.
+var (
+	RealClock    = clock.Real
+	NewFakeClock = clock.NewFake
+)
 
 // ---- Multi-objective metrics ----
 
