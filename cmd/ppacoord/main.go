@@ -1,0 +1,236 @@
+// Command ppacoord regenerates the paper's tables by distributing campaign
+// units across worker processes. It enumerates every (space × method × seed)
+// unit, leases each to a worker under a heartbeat-renewed TTL, merges the
+// streamed observations and results into one campaign checkpoint, and
+// assembles the same tables a single-process run produces — byte-identical
+// at any worker count, under any kill schedule.
+//
+// Usage:
+//
+//	ppacoord [-table 2|3|both] [-seeds N|s1,s2,...]
+//	         [-workers N [-worker-bin PATH] [-worker-flags "..."] [-kill W@T,...]]
+//	         [-listen ADDR -workers-remote N]
+//	         [-lease D] [-requeue D]
+//	         [-checkpoint FILE [-resume]] [-json FILE]
+//
+// -workers spawns N local ppaworker processes speaking the protocol on
+// their stdio pipes; -listen additionally (or instead) accepts remote
+// workers over TCP — start those with ppaworker -connect ADDR. -kill
+// SIGKILLs spawned workers mid-campaign (worker W at T after campaign
+// start) to rehearse lease reclaim: the killed worker's unit is parked,
+// requeued and re-granted under a higher lease epoch, and any result the
+// dead epoch might still deliver is rejected as a zombie.
+//
+// With -table both and only remote workers, workers exit after the first
+// table's shutdown broadcast; run them under a supervisor that reconnects,
+// or prefer -workers for local campaigns.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"ppatuner"
+	"ppatuner/internal/eval"
+	"ppatuner/internal/pdtool/chaos"
+	"ppatuner/internal/robust"
+	"ppatuner/internal/shard"
+	"ppatuner/internal/shard/transport"
+)
+
+// tablesDoc mirrors the tables command's TABLES.json document, so the
+// distributed and single-process pipelines feed the same consumers.
+type tablesDoc struct {
+	GoVersion string             `json:"go_version"`
+	Timestamp string             `json:"timestamp"`
+	Seeds     []int64            `json:"seeds"`
+	Workers   int                `json:"workers"`
+	Tables    []eval.TableReport `json:"tables"`
+}
+
+func main() {
+	table := flag.String("table", "both", "which table to regenerate: 2 | 3 | both")
+	seedSpec := flag.String("seeds", "3", "seed count N (averages seeds 1..N) or explicit comma-separated seed list")
+	workers := flag.Int("workers", 0, "local ppaworker processes to spawn (stdio transport)")
+	workerBin := flag.String("worker-bin", "", "ppaworker binary for -workers (default: next to this binary, then $PATH)")
+	workerFlags := flag.String("worker-flags", "", "extra flags passed to every spawned worker, e.g. \"-outage 60s/10s -breaker 2\"")
+	killSpec := flag.String("kill", "", "SIGKILL schedule for spawned workers: W@T[,W@T...] (e.g. 1@30s), empty or \"off\" disables")
+	listen := flag.String("listen", "", "TCP address to accept remote workers on (they run ppaworker -connect ADDR)")
+	workersRemote := flag.Int("workers-remote", 0, "remote workers expected on -listen (recorded in TABLES.json; grants start as soon as any worker connects)")
+	lease := flag.Duration("lease", 30*time.Second, "lease TTL: a worker silent for this long loses its unit to the requeue path")
+	requeue := flag.Duration("requeue", 0, "hold a breaker-parked unit out of the grant queue for this long (0 derives lease/4)")
+	ckptPath := flag.String("checkpoint", "", "campaign checkpoint file: completed cells, partial observations and the lease ledger persist there")
+	resume := flag.Bool("resume", false, "continue from an existing -checkpoint file (without it, a pre-existing file is an error)")
+	jsonPath := flag.String("json", "", "write the machine-readable TABLES.json document to this path")
+	flag.Parse()
+
+	fail := func(code int, err error) {
+		fmt.Fprintf(os.Stderr, "ppacoord: %v\n", err)
+		os.Exit(code)
+	}
+
+	seeds, err := eval.ParseSeeds(*seedSpec)
+	if err != nil {
+		fail(2, err)
+	}
+	faults, err := chaos.ParseKillSchedule(*killSpec)
+	if err != nil {
+		fail(2, err)
+	}
+	if *workers <= 0 && *listen == "" {
+		fail(2, fmt.Errorf("no workers: pass -workers N to spawn local ones, -listen ADDR to accept remote ones, or both"))
+	}
+	if len(faults.Kills) > 0 && *workers <= 0 {
+		fail(2, fmt.Errorf("-kill schedules SIGKILLs for spawned workers; it needs -workers"))
+	}
+
+	var ck *ppatuner.CampaignCheckpoint
+	resumedCells := 0
+	if *ckptPath != "" {
+		if !*resume {
+			if fi, err := os.Stat(*ckptPath); err == nil && fi.Size() > 0 {
+				fail(2, fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove the file", *ckptPath))
+			}
+		}
+		ck, err = ppatuner.LoadCampaignCheckpoint(*ckptPath)
+		if err != nil {
+			fail(1, err)
+		}
+		resumedCells = ck.Cells()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// One conns stream for the whole process: remote workers are forwarded
+	// in as they dial, local ones are pushed at each campaign start.
+	conns := make(chan shard.Conn, 64)
+	if *listen != "" {
+		remote, closeL, addr, err := transport.Listen(ctx, *listen)
+		if err != nil {
+			fail(1, err)
+		}
+		defer closeL()
+		fmt.Fprintf(os.Stderr, "ppacoord: accepting workers on %s (expecting %d; start them with: ppaworker -connect %s)\n", addr, *workersRemote, addr)
+		go func() {
+			for c := range remote {
+				conns <- c
+			}
+		}()
+	}
+
+	flog := &robust.FailureLog{}
+	var reports []eval.TableReport
+	runTable := func(name string, mk func() (*ppatuner.Scenario, error)) {
+		t0 := time.Now()
+		s, err := mk()
+		if err != nil {
+			fail(1, err)
+		}
+		fmt.Fprintf(os.Stderr, "— %s (benchmark ready in %v) —\n", name, time.Since(t0).Round(time.Second))
+		t0 = time.Now()
+		co, err := shard.New(shard.Options{
+			Campaign:     &ppatuner.Campaign{Scenario: s, Seeds: seeds, Checkpoint: ck},
+			LeaseTTL:     *lease,
+			RequeueDelay: *requeue,
+			Log:          flog,
+		})
+		if err != nil {
+			fail(1, err)
+		}
+		cmds := spawnWorkers(conns, *workers, *workerBin, *workerFlags, faults)
+		tbl, err := co.Run(ctx, conns)
+		for _, cmd := range cmds {
+			_ = cmd.Wait() // killed workers exit non-zero by design
+		}
+		if err != nil {
+			fail(1, err)
+		}
+		fmt.Print(tbl.Format())
+		st := co.Stats()
+		fmt.Fprintf(os.Stderr, "(computed in %v over %d seed(s); leases: %d granted, %d renewed, %d expired, %d workers lost, %d zombie results rejected, %d duplicates discarded)\n\n",
+			time.Since(t0).Round(time.Second), len(seeds), st.Granted, st.Renewed, st.Expired, st.WorkersLost, st.ZombieResults, st.Duplicates)
+		reports = append(reports, tbl.Report(name, seeds))
+	}
+
+	if *table == "2" || *table == "both" {
+		runTable("Table 2", ppatuner.ScenarioOne)
+	}
+	if *table == "3" || *table == "both" {
+		runTable("Table 3", ppatuner.ScenarioTwo)
+	}
+
+	if ck != nil {
+		fmt.Fprintf(os.Stderr, "checkpoint: resumed %d completed cells (now %d cells in %s)\n", resumedCells, ck.Cells(), *ckptPath)
+	}
+	fmt.Fprintf(os.Stderr, "failures: %s\n", flog.Summary())
+
+	if *jsonPath != "" {
+		doc := tablesDoc{
+			GoVersion: runtime.Version(),
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			Seeds:     seeds,
+			Workers:   *workers + *workersRemote,
+			Tables:    reports,
+		}
+		data, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			fail(1, err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fail(1, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+}
+
+// spawnWorkers starts n local ppaworker processes on stdio pipes, pushes
+// their conns to the coordinator, and arms the SIGKILL schedule (At is
+// measured from this campaign's worker spawn).
+func spawnWorkers(conns chan<- shard.Conn, n int, bin, extraFlags string, faults chaos.ProcFaults) []*exec.Cmd {
+	if n <= 0 {
+		return nil
+	}
+	if bin == "" {
+		bin = "ppaworker"
+		if self, err := os.Executable(); err == nil {
+			if sibling := filepath.Join(filepath.Dir(self), "ppaworker"); isExecutable(sibling) {
+				bin = sibling
+			}
+		}
+	}
+	extra := strings.Fields(extraFlags)
+	var cmds []*exec.Cmd
+	for i := 0; i < n; i++ {
+		args := append([]string{"-id", fmt.Sprintf("w%d", i)}, extra...)
+		conn, cmd, err := transport.Spawn(bin, args...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppacoord: %v\n", err)
+			os.Exit(1)
+		}
+		conns <- conn
+		cmds = append(cmds, cmd)
+		if at, ok := faults.KillAt(i); ok {
+			proc := cmd.Process
+			time.AfterFunc(at, func() {
+				fmt.Fprintf(os.Stderr, "ppacoord: chaos: SIGKILL worker w%d (pid %d)\n", i, proc.Pid)
+				_ = proc.Kill()
+			})
+		}
+	}
+	return cmds
+}
+
+func isExecutable(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && !fi.IsDir() && fi.Mode()&0o111 != 0
+}

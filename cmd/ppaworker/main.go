@@ -1,0 +1,114 @@
+// Command ppaworker is one worker process in a distributed table
+// regeneration: it speaks the shard lease protocol on stdin/stdout (the
+// default, for workers spawned by ppacoord) or over TCP with -connect, runs
+// one granted (space × method × seed) unit at a time through the resilient
+// evaluator, and streams every observation back the moment it is paid for —
+// so killing a worker forfeits only wall-clock time, never results.
+//
+// Usage:
+//
+//	ppaworker [-id NAME] [-connect ADDR] [-heartbeat D]
+//	          [-outage PERIOD/DOWN] [-breaker N] [-max-outage D] [-chaos-seed N]
+//
+// The outage flags mirror the tables command: they inject correlated
+// downtime into this worker's evaluation path and arm a park-mode breaker,
+// so units hitting the open breaker are reported as parked failures for the
+// coordinator to requeue rather than aborting the campaign.
+//
+// Everything diagnostic goes to stderr; stdout belongs to the protocol.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ppatuner"
+	"ppatuner/internal/eval"
+	"ppatuner/internal/shard"
+	"ppatuner/internal/shard/transport"
+)
+
+func main() {
+	id := flag.String("id", "", "worker name used in lease records and coordinator logs (default: assigned by the coordinator)")
+	connect := flag.String("connect", "", "coordinator TCP address; empty speaks the protocol on stdin/stdout")
+	heartbeat := flag.Duration("heartbeat", 0, "lease renewal period while a unit computes (0 derives a third of the granted TTL)")
+	outageSpec := flag.String("outage", "", "inject correlated downtime windows: PERIOD/DOWN (e.g. 60s/10s), empty or \"off\" disables")
+	breakerN := flag.Int("breaker", 0, "circuit breaker: trip after N consecutive transient failures and park the unit (0 disables)")
+	maxOutage := flag.Duration("max-outage", 5*time.Minute, "abort when one outage episode keeps the breaker open longer than this")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos injector's failure stream")
+	flag.Parse()
+
+	wrap, err := buildWrap(*outageSpec, *breakerN, *maxOutage, *chaosSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppaworker: %v\n", err)
+		os.Exit(2)
+	}
+
+	var conn shard.Conn
+	if *connect != "" {
+		conn, err = transport.Dial(*connect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppaworker: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		conn = transport.Stream(os.Stdin, os.Stdout)
+	}
+	defer conn.Close()
+
+	err = shard.RunWorker(context.Background(), conn, shard.WorkerOptions{
+		ID:             *id,
+		HeartbeatEvery: *heartbeat,
+		Run:            eval.RunOpts{Wrap: wrap},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppaworker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// buildWrap assembles the per-unit evaluation middleware: chaos injection
+// under the resilience layer with a shared park-mode breaker — the same
+// stack the tables command arms for single-process campaigns.
+func buildWrap(outageSpec string, breakerN int, maxOutage time.Duration, chaosSeed int64) (func(ppatuner.Evaluator) ppatuner.Evaluator, error) {
+	sched, err := ppatuner.ParseOutageSchedule(outageSpec)
+	if err != nil {
+		return nil, err
+	}
+	var inj *ppatuner.ChaosInjector
+	if sched.Enabled() {
+		inj, err = ppatuner.NewChaos(ppatuner.ChaosOptions{Seed: chaosSeed, Outage: sched})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var brk *ppatuner.CircuitBreaker
+	if breakerN > 0 {
+		brk = ppatuner.NewCircuitBreaker(ppatuner.CircuitBreakerOptions{
+			Threshold: breakerN,
+			MaxOutage: maxOutage,
+			Park:      true,
+		})
+	}
+	if inj == nil && brk == nil {
+		return nil, nil
+	}
+	return func(ev ppatuner.Evaluator) ppatuner.Evaluator {
+		if inj != nil {
+			ev = inj.Wrap(ev)
+		}
+		re, err := ppatuner.WrapEvaluator(nil, ev, ppatuner.ResilientOptions{
+			Policy:  ppatuner.PolicySkip,
+			Seed:    chaosSeed,
+			Breaker: brk,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppaworker: %v\n", err)
+			os.Exit(1)
+		}
+		return re.Evaluate
+	}, nil
+}

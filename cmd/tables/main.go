@@ -9,6 +9,7 @@
 // Usage:
 //
 //	tables [-table 2|3|both] [-seeds N|s1,s2,...] [-workers N]
+//	       [-coordinator ADDR [-workers-remote N] [-lease D]]
 //	       [-checkpoint FILE [-resume]] [-json FILE]
 //	       [-outage PERIOD/DOWN] [-breaker N] [-max-outage D]
 //
@@ -23,20 +24,29 @@
 // cells that hit the open breaker are parked (persisted in -checkpoint) and
 // requeued after recovery, bounded by -max-outage, so the regenerated
 // tables are bit-identical to an outage-free run.
+//
+// -coordinator switches from in-process workers to distributed ones: the
+// command listens on ADDR, leases units to remote ppaworker processes
+// (start them with ppaworker -connect ADDR), and merges their streamed
+// results — the output stays byte-identical to the in-process run. The
+// evaluation-path flags (-outage, -breaker) then belong on the workers,
+// not here. See also the ppacoord command, which adds local worker
+// spawning and kill schedules.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
 	"ppatuner"
 	"ppatuner/internal/eval"
+	"ppatuner/internal/shard"
+	"ppatuner/internal/shard/transport"
 )
 
 // tablesDoc is the TABLES.json document: everything a downstream consumer
@@ -49,39 +59,6 @@ type tablesDoc struct {
 	Tables    []eval.TableReport `json:"tables"`
 }
 
-// parseSeeds accepts a count ("3" → seeds 1..3) or an explicit list
-// ("1,2,5"; "7," is the single seed 7).
-func parseSeeds(spec string) ([]int64, error) {
-	spec = strings.TrimSpace(spec)
-	if strings.Contains(spec, ",") {
-		var seeds []int64
-		for _, part := range strings.Split(spec, ",") {
-			part = strings.TrimSpace(part)
-			if part == "" {
-				continue
-			}
-			s, err := strconv.ParseInt(part, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("seed %q is not an integer", part)
-			}
-			seeds = append(seeds, s)
-		}
-		if len(seeds) == 0 {
-			return nil, fmt.Errorf("seed list %q is empty", spec)
-		}
-		return seeds, nil
-	}
-	n, err := strconv.Atoi(spec)
-	if err != nil || n < 1 {
-		return nil, fmt.Errorf("-seeds wants a count >= 1 or a comma-separated list, got %q", spec)
-	}
-	seeds := make([]int64, n)
-	for i := range seeds {
-		seeds[i] = int64(i + 1)
-	}
-	return seeds, nil
-}
-
 func main() {
 	table := flag.String("table", "both", "which table to regenerate: 2 | 3 | both")
 	seedSpec := flag.String("seeds", "3", "seed count N (averages seeds 1..N) or explicit comma-separated seed list")
@@ -92,9 +69,12 @@ func main() {
 	outageSpec := flag.String("outage", "", "inject correlated downtime windows: PERIOD/DOWN (e.g. 60s/10s), empty or \"off\" disables")
 	breakerN := flag.Int("breaker", 0, "circuit breaker: trip after N consecutive transient failures and park affected cells (0 disables; outage-marked failures trip immediately)")
 	maxOutage := flag.Duration("max-outage", 5*time.Minute, "abort when one outage episode keeps the breaker open longer than this")
+	coordAddr := flag.String("coordinator", "", "distribute units to remote workers: TCP address to accept ppaworker -connect dials on")
+	workersRemote := flag.Int("workers-remote", 1, "remote workers expected on -coordinator (recorded in TABLES.json)")
+	leaseTTL := flag.Duration("lease", 30*time.Second, "with -coordinator: lease TTL before a silent worker loses its unit")
 	flag.Parse()
 
-	seeds, err := parseSeeds(*seedSpec)
+	seeds, err := eval.ParseSeeds(*seedSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 		os.Exit(2)
@@ -149,6 +129,26 @@ func main() {
 		}
 	}
 
+	// Distributed mode: listen for remote workers and lease units to them
+	// instead of running in-process. The evaluation-path middleware above
+	// runs inside workers, so the local wrap is left unused.
+	var distConns <-chan shard.Conn
+	if *coordAddr != "" {
+		if sched.Enabled() || *breakerN > 0 {
+			fmt.Fprintln(os.Stderr, "tables: note: with -coordinator, -outage and -breaker belong on the ppaworker command line; ignoring them here")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		conns, closeL, addr, err := transport.Listen(ctx, *coordAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		defer closeL()
+		distConns = conns
+		fmt.Fprintf(os.Stderr, "tables: accepting workers on %s (expecting %d; start them with: ppaworker -connect %s)\n", addr, *workersRemote, addr)
+	}
+
 	var ck *ppatuner.CampaignCheckpoint
 	resumedCells := 0
 	if *ckptPath != "" {
@@ -181,7 +181,22 @@ func main() {
 			Breaker: brk,
 			Opts:    ppatuner.HarnessRunOpts{Wrap: wrap},
 		}
-		tbl, err := c.Run()
+		var tbl *ppatuner.HarnessTable
+		if distConns != nil {
+			co, cerr := shard.New(shard.Options{Campaign: c, LeaseTTL: *leaseTTL, Log: flog})
+			if cerr != nil {
+				fmt.Fprintf(os.Stderr, "tables: %v\n", cerr)
+				os.Exit(1)
+			}
+			tbl, err = co.Run(context.Background(), distConns)
+			if err == nil {
+				st := co.Stats()
+				fmt.Fprintf(os.Stderr, "tables: leases: %d granted, %d expired, %d workers lost, %d zombie results rejected\n",
+					st.Granted, st.Expired, st.WorkersLost, st.ZombieResults)
+			}
+		} else {
+			tbl, err = c.Run()
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 			os.Exit(1)
@@ -213,11 +228,15 @@ func main() {
 	}
 
 	if *jsonPath != "" {
+		docWorkers := *workers
+		if distConns != nil {
+			docWorkers = *workersRemote
+		}
 		doc := tablesDoc{
 			GoVersion: runtime.Version(),
 			Timestamp: time.Now().UTC().Format(time.RFC3339),
 			Seeds:     seeds,
-			Workers:   *workers,
+			Workers:   docWorkers,
 			Tables:    reports,
 		}
 		data, err := json.MarshalIndent(&doc, "", "  ")

@@ -33,8 +33,15 @@ mat.CholeskyWithJitter, mat.SolveSPD, (*mat.Cholesky).Extend,
 (*robust.Checkpoint).SetRandState, (*robust.Checkpoint).SetIters;
 robust.LoadCampaignCheckpoint, (*robust.CampaignCheckpoint).Complete,
 (*robust.CampaignCheckpoint).StartCell, (*robust.CampaignCheckpoint).Park,
-(*robust.CampaignCheckpoint).Unpark; (*robust.Breaker).Acquire,
-(*robust.Breaker).AwaitRecovery.`,
+(*robust.CampaignCheckpoint).Unpark, (*robust.CampaignCheckpoint).Lease,
+(*robust.CampaignCheckpoint).ReleaseLease,
+(*robust.CampaignCheckpoint).AddPartialObservation;
+(*robust.Breaker).Acquire, (*robust.Breaker).AwaitRecovery.
+
+The lease-ledger trio joins the list with the distributed-campaign
+coordinator: a dropped Lease error hides an epoch regression (the zombie
+defence), and a dropped AddPartialObservation error silently forfeits
+streamed progress the next re-grant was meant to replay.`,
 	Run: run,
 }
 
@@ -49,18 +56,21 @@ var must = map[string]map[string]bool{
 		"Cholesky.FactorizePacked": true,
 	},
 	"ppatuner/internal/robust": {
-		"LoadCheckpoint":               true,
-		"Checkpoint.Add":               true,
-		"Checkpoint.Save":              true,
-		"Checkpoint.SetRandState":      true,
-		"Checkpoint.SetIters":          true,
-		"LoadCampaignCheckpoint":       true,
-		"CampaignCheckpoint.Complete":  true,
-		"CampaignCheckpoint.StartCell": true,
-		"CampaignCheckpoint.Park":      true,
-		"CampaignCheckpoint.Unpark":    true,
-		"Breaker.Acquire":              true,
-		"Breaker.AwaitRecovery":        true,
+		"LoadCheckpoint":                           true,
+		"Checkpoint.Add":                           true,
+		"Checkpoint.Save":                          true,
+		"Checkpoint.SetRandState":                  true,
+		"Checkpoint.SetIters":                      true,
+		"LoadCampaignCheckpoint":                   true,
+		"CampaignCheckpoint.Complete":              true,
+		"CampaignCheckpoint.StartCell":             true,
+		"CampaignCheckpoint.Park":                  true,
+		"CampaignCheckpoint.Unpark":                true,
+		"CampaignCheckpoint.Lease":                 true,
+		"CampaignCheckpoint.ReleaseLease":          true,
+		"CampaignCheckpoint.AddPartialObservation": true,
+		"Breaker.Acquire":                          true,
+		"Breaker.AwaitRecovery":                    true,
 	},
 }
 

@@ -19,6 +19,20 @@ func bad(a *mat.Matrix, c *mat.Cholesky, ck *robust.Checkpoint) {
 	robust.LoadCheckpoint("x")     // want `robust.LoadCheckpoint discards its error`
 }
 
+func badLease(ck *robust.CampaignCheckpoint) {
+	ck.Lease("u", 1, "w")                               // want `robust.CampaignCheckpoint.Lease discards its error`
+	ck.ReleaseLease("u")                                // want `robust.CampaignCheckpoint.ReleaseLease discards its error`
+	ck.AddPartialObservation("u", robust.Observation{}) // want `robust.CampaignCheckpoint.AddPartialObservation discards its error`
+}
+
+func goodLease(ck *robust.CampaignCheckpoint) error {
+	if err := ck.Lease("u", 1, "w"); err != nil {
+		return err
+	}
+	_ = ck.LeaseHolder("u") // no error result and not curated: fine.
+	return ck.AddPartialObservation("u", robust.Observation{})
+}
+
 func good(a *mat.Matrix, c *mat.Cholesky, ck *robust.Checkpoint) error {
 	f, err := mat.NewCholesky(a)
 	if err != nil {

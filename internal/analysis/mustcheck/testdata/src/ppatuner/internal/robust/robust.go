@@ -11,3 +11,15 @@ func (c *Checkpoint) Add(i int, y []float64) error { return nil }
 func (c *Checkpoint) Save() error { return nil }
 
 func (c *Checkpoint) Len() int { return 0 }
+
+type Observation struct{}
+
+type CampaignCheckpoint struct{}
+
+func (c *CampaignCheckpoint) Lease(key string, epoch uint64, holder string) error { return nil }
+
+func (c *CampaignCheckpoint) ReleaseLease(key string) error { return nil }
+
+func (c *CampaignCheckpoint) AddPartialObservation(key string, obs Observation) error { return nil }
+
+func (c *CampaignCheckpoint) LeaseHolder(key string) string { return "" }

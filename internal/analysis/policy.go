@@ -25,6 +25,7 @@ var Deterministic = []string{
 	"ppatuner/internal/pdtool",
 	"ppatuner/internal/par",
 	"ppatuner/internal/tree",
+	"ppatuner/internal/shard",
 }
 
 // Exemption carves a package subtree out of the determinism ban, with the
@@ -48,6 +49,10 @@ var Exempt = []Exemption{
 	{
 		Prefix: "ppatuner/internal/pdtool/chaos",
 		Reason: "fault injector: simulated hangs and outage-window membership run on an injected Clock (wall clock by default); which evaluations fail is still drawn from the seeded injector RNG or the seed-derived outage schedule",
+	},
+	{
+		Prefix: "ppatuner/internal/shard/transport",
+		Reason: "the shard subsystem's only non-deterministic layer: TCP dials, stdio pipes, subprocess spawning and fault-injected delivery are wall-clock by nature; the coordinator, ledger and worker logic above it run on an injected Clock and stay under the determinism ban",
 	},
 	{
 		Prefix: "ppatuner/internal/robust",

@@ -198,6 +198,15 @@ func (c *Campaign) Run() (*Table, error) {
 		}
 		pending = parked
 	}
+	return c.Assemble(results), nil
+}
+
+// Assemble reduces per-unit results — indexed in Units() enumeration order —
+// to the comparison table, accumulating in seed order so the reduction is
+// bit-identical however and wherever the units actually ran. It is the
+// single assembly path for in-process campaigns and the distributed
+// coordinator alike.
+func (c *Campaign) Assemble(results []UnitResult) *Table {
 	t := &Table{Scenario: c.Scenario, Methods: c.methods(), Spaces: c.spaces()}
 	nm, nseed := len(t.Methods), len(c.Seeds)
 	for si := range t.Spaces {
@@ -208,7 +217,7 @@ func (c *Campaign) Run() (*Table, error) {
 		}
 		t.Rows = append(t.Rows, rows)
 	}
-	return t, nil
+	return t
 }
 
 // unitError labels a unit failure with the cell it came from.

@@ -68,6 +68,13 @@ type Scenario struct {
 	Budgets map[Method]int
 }
 
+// The standard scenarios' stable names: checkpoint keys, wire-form unit
+// specs and the StandardScenario resolver all spell them identically.
+const (
+	ScenarioOneName = "Scenario One (Source1 -> Target1)"
+	ScenarioTwoName = "Scenario Two (Source2 -> Target2)"
+)
+
 // ScenarioOne builds Source1→Target1 with the paper's budgets.
 func ScenarioOne() (*Scenario, error) {
 	src, err := benchdata.Source1()
@@ -79,7 +86,7 @@ func ScenarioOne() (*Scenario, error) {
 		return nil, err
 	}
 	return &Scenario{
-		Name: "Scenario One (Source1 -> Target1)", Source: src, Target: tgt,
+		Name: ScenarioOneName, Source: src, Target: tgt,
 		SourceN: 200, InitFrac: 0.01,
 		Budgets: map[Method]int{TCAD19: 510, MLCAD19: 400, DAC19: 600, ASPDAC20: 400, PPATuner: 260},
 	}, nil
@@ -96,7 +103,7 @@ func ScenarioTwo() (*Scenario, error) {
 		return nil, err
 	}
 	return &Scenario{
-		Name: "Scenario Two (Source2 -> Target2)", Source: src, Target: tgt,
+		Name: ScenarioTwoName, Source: src, Target: tgt,
 		SourceN: 200, InitFrac: 0.02,
 		Budgets: map[Method]int{TCAD19: 95, MLCAD19: 70, DAC19: 130, ASPDAC20: 70, PPATuner: 65},
 	}, nil

@@ -1,0 +1,142 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WorkerKill schedules one SIGKILL: worker Worker dies at virtual time At.
+// "Dies" means whatever the harness under test makes of it — a real SIGKILL
+// for cmd/ppacoord's -kill flag, a severed in-memory connection for unit
+// tests — the schedule only decides *when*.
+type WorkerKill struct {
+	Worker int
+	At     time.Duration
+}
+
+// ProcFaults describes process-level fault injection for distributed
+// campaigns: worker deaths, heartbeat loss, and delayed or duplicated
+// result delivery. Like Schedule, every decision is a pure function of the
+// virtual timeline (durations since the campaign started), so each failure
+// scenario is a fast deterministic unit test rather than a flaky
+// sleep-and-hope integration run.
+type ProcFaults struct {
+	// Kills are the scheduled worker deaths, in any order.
+	Kills []WorkerKill
+	// DropHeartbeats are windows during which every heartbeat vanishes in
+	// transit — the coordinator sees silence and lets the lease expire even
+	// though the worker is alive and computing (the zombie-result scenario).
+	DropHeartbeats []Window
+	// ResultDelay holds every result message in transit for this long
+	// before delivery, modelling a slow network or a GC'd pipe.
+	ResultDelay time.Duration
+	// DuplicateResults delivers every result message twice, modelling a
+	// retransmit layer; merge must be idempotent.
+	DuplicateResults bool
+}
+
+// Enabled reports whether the spec injects anything.
+func (p ProcFaults) Enabled() bool {
+	return len(p.Kills) > 0 || len(p.DropHeartbeats) > 0 || p.ResultDelay > 0 || p.DuplicateResults
+}
+
+// validate rejects malformed specs at construction.
+func (p ProcFaults) validate() error {
+	for i, k := range p.Kills {
+		if k.Worker < 0 || k.At < 0 {
+			return fmt.Errorf("chaos: worker kill %d (worker %d at %v) is malformed", i, k.Worker, k.At)
+		}
+	}
+	for i, w := range p.DropHeartbeats {
+		if w.Start < 0 || w.End <= w.Start {
+			return fmt.Errorf("chaos: heartbeat-drop window %d [%v, %v) is malformed", i, w.Start, w.End)
+		}
+	}
+	if p.ResultDelay < 0 {
+		return fmt.Errorf("chaos: negative result delay %v", p.ResultDelay)
+	}
+	return nil
+}
+
+// KillAt returns the scheduled death time for a worker, if any. With several
+// entries for one worker the earliest wins (it can only die once).
+func (p ProcFaults) KillAt(worker int) (time.Duration, bool) {
+	var at time.Duration
+	found := false
+	for _, k := range p.Kills {
+		if k.Worker != worker {
+			continue
+		}
+		if !found || k.At < at {
+			at, found = k.At, true
+		}
+	}
+	return at, found
+}
+
+// DropHeartbeat reports whether a heartbeat sent at virtual time t is lost.
+func (p ProcFaults) DropHeartbeat(t time.Duration) bool {
+	for _, w := range p.DropHeartbeats {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the kill schedule in the CLI "W@T,W@T" form.
+func (p ProcFaults) String() string {
+	if !p.Enabled() {
+		return "off"
+	}
+	parts := make([]string, 0, len(p.Kills)+2)
+	for _, k := range p.Kills {
+		parts = append(parts, fmt.Sprintf("%d@%v", k.Worker, k.At))
+	}
+	if len(p.DropHeartbeats) > 0 {
+		parts = append(parts, fmt.Sprintf("drop-hb:%d", len(p.DropHeartbeats)))
+	}
+	if p.ResultDelay > 0 {
+		parts = append(parts, fmt.Sprintf("delay:%v", p.ResultDelay))
+	}
+	if p.DuplicateResults {
+		parts = append(parts, "dup")
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseKillSchedule reads the CLI spelling "W@T[,W@T...]" (e.g. "1@8s,0@30s":
+// SIGKILL worker 1 eight seconds in, worker 0 at thirty). The empty string
+// (or "off") is the disabled schedule.
+func ParseKillSchedule(spec string) (ProcFaults, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return ProcFaults{}, nil
+	}
+	var p ProcFaults
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		worker, at, ok := strings.Cut(part, "@")
+		if !ok {
+			return ProcFaults{}, fmt.Errorf("chaos: kill spec %q wants W@T (e.g. 1@8s)", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(worker))
+		if err != nil || w < 0 {
+			return ProcFaults{}, fmt.Errorf("chaos: kill spec %q: worker index %q is not a non-negative integer", part, worker)
+		}
+		t, err := time.ParseDuration(strings.TrimSpace(at))
+		if err != nil {
+			return ProcFaults{}, fmt.Errorf("chaos: kill spec %q: %w", part, err)
+		}
+		if t < 0 {
+			return ProcFaults{}, fmt.Errorf("chaos: kill spec %q wants a non-negative time", part)
+		}
+		p.Kills = append(p.Kills, WorkerKill{Worker: w, At: t})
+	}
+	if err := p.validate(); err != nil {
+		return ProcFaults{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScheduleMalformed(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr string // substring of the error, "" for accepted
+	}{
+		{"", ""},
+		{"off", ""},
+		{"60s/10s", ""},
+		{"60s", "wants PERIOD/DOWN"},
+		{"x/10s", "outage period"},
+		{"60s/y", "outage downtime"},
+		{"0s/0s", "positive PERIOD and DOWN"},
+		{"0s/10s", "positive PERIOD and DOWN"},
+		{"60s/0s", "positive PERIOD and DOWN"},
+		{"-60s/10s", "positive PERIOD and DOWN"},
+		{"60s/-10s", "positive PERIOD and DOWN"},
+		{"10s/10s", "permanent outage"},
+		{"10s/20s", "permanent outage"},
+	}
+	for _, tc := range cases {
+		s, err := ParseSchedule(tc.spec)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("ParseSchedule(%q): unexpected error %v", tc.spec, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParseSchedule(%q) = %v, want error containing %q", tc.spec, s, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ParseSchedule(%q) error = %q, want substring %q", tc.spec, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseKillSchedule(t *testing.T) {
+	p, err := ParseKillSchedule("1@8s, 0@30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Kills) != 2 || p.Kills[0] != (WorkerKill{Worker: 1, At: 8 * time.Second}) {
+		t.Fatalf("kills = %+v", p.Kills)
+	}
+	if at, ok := p.KillAt(0); !ok || at != 30*time.Second {
+		t.Fatalf("KillAt(0) = %v, %v", at, ok)
+	}
+	if _, ok := p.KillAt(7); ok {
+		t.Fatal("KillAt(7) should report no kill")
+	}
+	if !p.Enabled() {
+		t.Fatal("parsed schedule should be enabled")
+	}
+
+	if p, err := ParseKillSchedule("off"); err != nil || p.Enabled() {
+		t.Fatalf("off = %+v, %v", p, err)
+	}
+	for _, bad := range []string{"1", "x@8s", "-1@8s", "1@-8s", "1@x"} {
+		if _, err := ParseKillSchedule(bad); err == nil {
+			t.Errorf("ParseKillSchedule(%q) should fail", bad)
+		}
+	}
+}
+
+func TestProcFaultsEarliestKillWins(t *testing.T) {
+	p := ProcFaults{Kills: []WorkerKill{
+		{Worker: 2, At: 40 * time.Second},
+		{Worker: 2, At: 10 * time.Second},
+	}}
+	if at, ok := p.KillAt(2); !ok || at != 10*time.Second {
+		t.Fatalf("KillAt(2) = %v, %v, want 10s", at, ok)
+	}
+}
+
+func TestProcFaultsDropHeartbeat(t *testing.T) {
+	p := ProcFaults{DropHeartbeats: []Window{{Start: 5 * time.Second, End: 15 * time.Second}}}
+	if p.DropHeartbeat(4 * time.Second) {
+		t.Fatal("heartbeat at 4s should pass")
+	}
+	if !p.DropHeartbeat(5 * time.Second) {
+		t.Fatal("heartbeat at 5s should drop")
+	}
+	if p.DropHeartbeat(15 * time.Second) {
+		t.Fatal("heartbeat at 15s (window end) should pass")
+	}
+}
+
+func TestProcFaultsValidate(t *testing.T) {
+	bad := []ProcFaults{
+		{Kills: []WorkerKill{{Worker: -1, At: time.Second}}},
+		{Kills: []WorkerKill{{Worker: 0, At: -time.Second}}},
+		{DropHeartbeats: []Window{{Start: 2 * time.Second, End: time.Second}}},
+		{ResultDelay: -time.Second},
+	}
+	for i, p := range bad {
+		if err := p.validate(); err == nil {
+			t.Errorf("case %d: %+v should fail validation", i, p)
+		}
+	}
+	ok := ProcFaults{
+		Kills:            []WorkerKill{{Worker: 1, At: 8 * time.Second}},
+		DropHeartbeats:   []Window{{End: time.Second}},
+		ResultDelay:      2 * time.Second,
+		DuplicateResults: true,
+	}
+	if err := ok.validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if s := ok.String(); !strings.Contains(s, "1@8s") || !strings.Contains(s, "dup") {
+		t.Errorf("String() = %q", s)
+	}
+	if s := (ProcFaults{}).String(); s != "off" {
+		t.Errorf("zero ProcFaults String() = %q, want off", s)
+	}
+}

@@ -162,8 +162,10 @@ func (s Schedule) String() string {
 }
 
 // ParseSchedule reads the CLI spelling "PERIOD/DOWN" (e.g. "60s/10s": a
-// 10-second outage inside every 60-second stripe). The empty string is the
-// disabled schedule.
+// 10-second outage inside every 60-second stripe). The empty string (or
+// "off") is the disabled schedule; a spelled-out "0s/0s" is rejected rather
+// than silently treated as disabled — an operator who typed durations meant
+// to schedule outages, and zero durations are a typo, not a request.
 func ParseSchedule(spec string) (Schedule, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" || spec == "off" {
@@ -180,6 +182,12 @@ func ParseSchedule(spec string) (Schedule, error) {
 	d, err := time.ParseDuration(strings.TrimSpace(down))
 	if err != nil {
 		return Schedule{}, fmt.Errorf("chaos: outage downtime: %w", err)
+	}
+	if p <= 0 || d <= 0 {
+		return Schedule{}, fmt.Errorf("chaos: outage spec %q wants positive PERIOD and DOWN (use \"off\" or omit the flag to disable)", spec)
+	}
+	if d >= p {
+		return Schedule{}, fmt.Errorf("chaos: outage spec %q is a permanent outage — DOWN %v must be shorter than PERIOD %v", spec, d, p)
 	}
 	s := Schedule{Period: p, Down: d}
 	if err := s.validate(); err != nil {

@@ -30,13 +30,13 @@ func TestScheduleDisabledForms(t *testing.T) {
 
 func TestScheduleValidation(t *testing.T) {
 	bad := []Schedule{
-		{Period: time.Second, Down: time.Second},          // Down == Period
-		{Period: time.Second, Down: 2 * time.Second},      // Down > Period
-		{Period: -time.Second, Down: time.Second},         // negative
+		{Period: time.Second, Down: time.Second},             // Down == Period
+		{Period: time.Second, Down: 2 * time.Second},         // Down > Period
+		{Period: -time.Second, Down: time.Second},            // negative
 		{Period: time.Minute, Down: time.Second, Jitter: 1},  // Jitter out of [0,1)
 		{Period: time.Minute, Down: time.Second, Jitter: -1}, // negative jitter
-		{Windows: []Window{{Start: 5, End: 5}}},           // empty window
-		{Windows: []Window{{Start: -1, End: 5}}},          // negative start
+		{Windows: []Window{{Start: 5, End: 5}}},              // empty window
+		{Windows: []Window{{Start: -1, End: 5}}},             // negative start
 	}
 	for _, s := range bad {
 		if err := s.validate(); err == nil {

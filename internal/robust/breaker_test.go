@@ -309,3 +309,56 @@ func TestBreakerStateStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestBreakerDwellResetsAfterFullRecovery(t *testing.T) {
+	// Regression guard: a recovery (OnSuccess while half-open) must reset the
+	// doubling dwell, so a *later* trip starts probing after the base
+	// RetryAfter again — not after whatever multiple the previous episode's
+	// failed probes had doubled it to.
+	fc := clock.NewFake(time.Unix(0, 0))
+	b := NewBreaker(BreakerOptions{
+		Threshold:  1,
+		RetryAfter: time.Second,
+		MaxOutage:  time.Hour,
+		Clock:      fc,
+	})
+
+	// Episode one: trip, then fail three probes so the dwell doubles to 8s.
+	b.OnFailure(fmt.Errorf("wrapped: %w", fakeOutage{}))
+	for i := 0; i < 3; i++ {
+		fc.Advance(10 * time.Second) // past any dwell
+		if err := b.Acquire(context.Background()); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		b.OnFailure(fakeOutage{})
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probes = %v, want open", b.State())
+	}
+
+	// Full recovery: the next probe succeeds and the breaker closes.
+	fc.Advance(10 * time.Second)
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b.OnSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after recovery = %v, want closed", b.State())
+	}
+
+	// Episode two: trip again. Base dwell (1s) must be enough to admit the
+	// probe — without the reset, dwellLocked would still report 8s and
+	// AwaitRecovery would have to sleep.
+	b.OnFailure(fakeOutage{})
+	fc.Advance(time.Second)
+	sleepsBefore := fc.Sleeps()
+	if err := b.AwaitRecovery(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := fc.Sleeps(); got != sleepsBefore {
+		t.Fatalf("AwaitRecovery slept %d times after base dwell; dwell was not reset by recovery", got-sleepsBefore)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after base dwell = %v, want half-open", b.State())
+	}
+}

@@ -19,8 +19,27 @@ type CampaignCell struct {
 	Runs int     `json:"runs"`
 }
 
-// CampaignCheckpoint is the schema-v2 crash-safe store behind resumable
-// table regeneration (internal/eval.Campaign). It persists two layers of
+// Observation is one (pool index, QoR vector) evaluation record — the unit
+// of partial-cell progress that distributed workers stream back to the
+// coordinator and that grants replay into a resumed unit.
+type Observation struct {
+	Index int       `json:"index"`
+	QoR   []float64 `json:"qor"`
+}
+
+// LeaseRecord is the persisted state of one unit's lease: the highest epoch
+// ever granted and who held it. Epochs are the zombie-detection currency of
+// the distributed scheduler (internal/shard): persisting the high-water mark
+// means a restarted coordinator keeps granting strictly increasing epochs,
+// so a result computed under a pre-crash lease can never masquerade as
+// current.
+type LeaseRecord struct {
+	Epoch  uint64 `json:"epoch"`
+	Holder string `json:"holder,omitempty"`
+}
+
+// CampaignCheckpoint is the schema-v3 crash-safe store behind resumable
+// table regeneration (internal/eval.Campaign). It persists three layers of
 // progress under caller-chosen stable string keys:
 //
 //   - completed cells: the scored result of a finished unit, so a resumed
@@ -29,17 +48,28 @@ type CampaignCell struct {
 //     the serialised RNG-source state the unit started from and the count
 //     of fresh evaluations so far. A resumed unit restores the recorded
 //     RNG state and replays the observations, reproducing the crashed run
-//     bit-for-bit without re-deriving anything from the seed.
+//     bit-for-bit without re-deriving anything from the seed;
+//   - lease records (schema v3): for distributed campaigns, each in-flight
+//     unit's highest granted lease epoch and holder, so coordinator
+//     restarts preserve epoch monotonicity and late results from dead
+//     workers stay detectable.
+//
+// Completion clears a unit's partial state, parked mark and lease record
+// alike, so a finished campaign's file carries no trace of how bumpy the
+// road was — which is exactly what makes a distributed, fault-ridden run's
+// final checkpoint byte-identical to a single-process fault-free one.
 //
 // Every mutation persists via write-to-temp + atomic rename, so a kill
 // mid-write never corrupts the file. All methods are safe for concurrent
-// use by parallel campaign workers.
+// use by parallel campaign workers. Version-2 files (no lease ledger) load
+// transparently and are migrated to v3 on the next save.
 type CampaignCheckpoint struct {
 	mu       sync.Mutex
 	path     string
 	cells    map[string]CampaignCell
 	partial  map[string]*partialState
 	parked   map[string]bool
+	leases   map[string]LeaseRecord
 	replayed int
 	fresh    int
 }
@@ -73,9 +103,17 @@ type campaignFile struct {
 	// *why* the unit is incomplete. Completion clears it, so a finished
 	// campaign's file carries no trace of the outage.
 	Parked []string `json:"parked,omitempty"`
+	// Leases (schema v3) records each in-flight unit's lease high-water
+	// mark. Like Parked, completion clears the record.
+	Leases map[string]LeaseRecord `json:"leases,omitempty"`
 }
 
 const campaignKind = "campaign"
+
+// campaignCheckpointVersion is the schema version written by saveLocked.
+// Version 2 (no lease ledger) loads transparently; the per-run Checkpoint
+// keeps its own checkpointVersion.
+const campaignCheckpointVersion = 3
 
 // NewCampaignCheckpoint builds an empty campaign checkpoint persisting to
 // path. An empty path keeps it in memory only (useful in tests).
@@ -85,6 +123,7 @@ func NewCampaignCheckpoint(path string) *CampaignCheckpoint {
 		cells:   map[string]CampaignCell{},
 		partial: map[string]*partialState{},
 		parked:  map[string]bool{},
+		leases:  map[string]LeaseRecord{},
 	}
 }
 
@@ -112,7 +151,7 @@ func LoadCampaignCheckpoint(path string) (*CampaignCheckpoint, error) {
 	if f.Kind != campaignKind {
 		return nil, fmt.Errorf("robust: %s is not a campaign checkpoint (kind %q); per-run observation checkpoints load with LoadCheckpoint", path, f.Kind)
 	}
-	if f.Version != checkpointVersion {
+	if f.Version != campaignCheckpointVersion && f.Version != checkpointVersion {
 		return nil, fmt.Errorf("robust: campaign checkpoint %s has unsupported version %d", path, f.Version)
 	}
 	for key, cell := range f.Cells {
@@ -134,6 +173,9 @@ func LoadCampaignCheckpoint(path string) (*CampaignCheckpoint, error) {
 	}
 	for _, key := range f.Parked {
 		c.parked[key] = true
+	}
+	for key, lr := range f.Leases {
+		c.leases[key] = lr
 	}
 	return c, nil
 }
@@ -191,7 +233,94 @@ func (c *CampaignCheckpoint) Complete(key string, cell CampaignCell) error {
 	c.cells[key] = cell
 	delete(c.partial, key)
 	delete(c.parked, key)
+	delete(c.leases, key)
 	return c.saveLocked()
+}
+
+// Lease records that a unit's lease was granted at epoch to holder and
+// persists. Epochs must be monotonically increasing per key: a grant at an
+// epoch not above the recorded high-water mark is rejected, which is what
+// lets a restarted coordinator keep zombie results from a pre-crash lease
+// detectable.
+func (c *CampaignCheckpoint) Lease(key string, epoch uint64, holder string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.leases[key]; ok && epoch <= prev.Epoch {
+		return fmt.Errorf("robust: lease epoch %d for %q does not advance recorded epoch %d", epoch, key, prev.Epoch)
+	}
+	c.leases[key] = LeaseRecord{Epoch: epoch, Holder: holder}
+	return c.saveLocked()
+}
+
+// ReleaseLease drops a unit's lease record (reclaim without completion —
+// e.g. the campaign is shutting down with the unit unfinished) and persists.
+// The epoch high-water mark is what the record carried; callers that re-grant
+// later must still advance past it, so release only via the coordinator's
+// ledger, which remembers.
+func (c *CampaignCheckpoint) ReleaseLease(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.leases[key]; !ok {
+		return nil
+	}
+	delete(c.leases, key)
+	return c.saveLocked()
+}
+
+// LeaseRecords returns a copy of the persisted lease ledger: unit key →
+// highest granted epoch and holder.
+func (c *CampaignCheckpoint) LeaseRecords() map[string]LeaseRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]LeaseRecord, len(c.leases))
+	for k, v := range c.leases {
+		out[k] = v
+	}
+	return out
+}
+
+// AddPartialObservation merges one streamed observation into a unit's
+// partial state and persists: the distributed-campaign counterpart of the
+// write-through in WrapCell. Invalid vectors are rejected (never cached);
+// duplicates by index are ignored without charging iters. Observations are
+// epoch-agnostic on purpose — even a stale lease's evaluations are paid-for
+// truth (the evaluator is deterministic per unit), so merging them
+// guarantees each reclaim round makes progress.
+func (c *CampaignCheckpoint) AddPartialObservation(key string, obs Observation) error {
+	if err := ValidateVector(obs.QoR, 0); err != nil {
+		return fmt.Errorf("robust: refusing to checkpoint observation %d for %q: %v", obs.Index, key, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.partial[key]
+	if !ok {
+		p = &partialState{values: map[int][]float64{}}
+		c.partial[key] = p
+	}
+	if _, dup := p.values[obs.Index]; dup {
+		return nil
+	}
+	p.order = append(p.order, obs.Index)
+	p.values[obs.Index] = append([]float64(nil), obs.QoR...)
+	p.iters++
+	c.fresh++
+	return c.saveLocked()
+}
+
+// PartialObservations returns a unit's recorded observations in arrival
+// order — the replay stream a re-granted lease ships to its new worker.
+func (c *CampaignCheckpoint) PartialObservations(key string) []Observation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.partial[key]
+	if !ok {
+		return nil
+	}
+	out := make([]Observation, 0, len(p.order))
+	for _, i := range p.order {
+		out = append(out, Observation{Index: i, QoR: append([]float64(nil), p.values[i]...)})
+	}
+	return out
 }
 
 // PartialRandState returns the RNG-source state recorded when the cell's
@@ -285,7 +414,7 @@ func (c *CampaignCheckpoint) saveLocked() error {
 		return nil
 	}
 	f := campaignFile{
-		Version: checkpointVersion,
+		Version: campaignCheckpointVersion,
 		Kind:    campaignKind,
 		Cells:   make(map[string]CampaignCell, len(c.cells)),
 		Partial: make(map[string]campaignPartial, len(c.partial)),
@@ -306,6 +435,12 @@ func (c *CampaignCheckpoint) saveLocked() error {
 	}
 	if len(c.parked) > 0 {
 		f.Parked = sortedKeys(c.parked)
+	}
+	if len(c.leases) > 0 {
+		f.Leases = make(map[string]LeaseRecord, len(c.leases))
+		for _, key := range sortedKeys(c.leases) {
+			f.Leases[key] = c.leases[key]
+		}
 	}
 	data, err := json.MarshalIndent(&f, "", " ")
 	if err != nil {

@@ -28,6 +28,10 @@ const (
 	// Index and Attempt of -1 — run-level machinery, not a per-candidate
 	// failure.
 	KindBreaker Kind = "breaker"
+	// KindLease is a distributed-campaign lease event (granted, expired,
+	// reclaimed, zombie result rejected), recorded with Index and Attempt
+	// of -1 — coordinator machinery, not a per-candidate failure.
+	KindLease Kind = "lease"
 )
 
 // classify maps an attempt error to its Kind.
@@ -107,6 +111,15 @@ func (l *FailureLog) add(ev Event) {
 	}
 }
 
+// Record appends an event directly — the hook for run-level machinery
+// (coordinator lease bookkeeping, breaker transitions threaded from outside
+// the evaluator) that classifies its own events rather than deriving the
+// Kind from an attempt error. Like every FailureLog method it is nil-safe
+// and streams to any attached logger.
+func (l *FailureLog) Record(ev Event) {
+	l.add(ev)
+}
+
 // Events returns a copy of the recorded events in order.
 func (l *FailureLog) Events() []Event {
 	if l == nil {
@@ -175,10 +188,26 @@ func (l *FailureLog) BreakerTransitions() int {
 	return n
 }
 
+// LeaseEvents counts recorded distributed-lease events.
+func (l *FailureLog) LeaseEvents() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.events {
+		if ev.Kind == KindLease {
+			n++
+		}
+	}
+	return n
+}
+
 // Summary renders a one-line per-kind digest, e.g.
-// "9 failures (error:4 timeout:2 outage:3), 1 terminal, 4 breaker transitions".
-// Breaker transitions are machinery, not failures, so they are tallied
-// separately from the failure count.
+// "9 failures (error:4 timeout:2 outage:3), 1 terminal, 4 breaker transitions, 6 lease events".
+// Breaker transitions and lease events are machinery, not failures, so they
+// are tallied separately from the failure count.
 func (l *FailureLog) Summary() string {
 	if l.Len() == 0 {
 		return "no failures"
@@ -195,19 +224,25 @@ func (l *FailureLog) Summary() string {
 	total := len(l.events)
 	l.mu.Unlock()
 	transitions := byKind[KindBreaker]
-	total -= transitions
+	leases := byKind[KindLease]
+	total -= transitions + leases
 	parts := make([]string, 0, len(byKind))
 	for _, k := range []Kind{KindError, KindTimeout, KindPanic, KindInvalid, KindOutage} {
 		if n := byKind[k]; n > 0 {
 			parts = append(parts, fmt.Sprintf("%s:%d", k, n))
 		}
 	}
+	var s string
 	if total == 0 {
-		return fmt.Sprintf("no failures, %d breaker transitions", transitions)
+		s = "no failures"
+	} else {
+		s = fmt.Sprintf("%d failures (%s), %d terminal", total, strings.Join(parts, " "), terminal)
 	}
-	s := fmt.Sprintf("%d failures (%s), %d terminal", total, strings.Join(parts, " "), terminal)
 	if transitions > 0 {
 		s += fmt.Sprintf(", %d breaker transitions", transitions)
+	}
+	if leases > 0 {
+		s += fmt.Sprintf(", %d lease events", leases)
 	}
 	return s
 }

@@ -1,0 +1,185 @@
+package shard
+
+import (
+	"sort"
+	"time"
+)
+
+// Stats counts the coordinator's lease machinery events. They describe the
+// road, not the destination: any Stats value is compatible with the same
+// byte-identical final table.
+type Stats struct {
+	// Granted counts lease grants (first grants and re-grants alike).
+	Granted int
+	// Renewed counts heartbeat renewals of active leases.
+	Renewed int
+	// Expired counts leases reclaimed because their deadline passed without
+	// a renewal.
+	Expired int
+	// WorkersLost counts leases reclaimed because the holder's connection
+	// died.
+	WorkersLost int
+	// ZombieResults counts completed-unit results rejected because their
+	// epoch was superseded by a re-grant.
+	ZombieResults int
+	// ZombieObs counts observations that arrived under a stale epoch and
+	// were merged anyway (paid-for truth — merging them is what guarantees
+	// each reclaim round makes progress).
+	ZombieObs int
+	// Duplicates counts results for already-completed units (retransmits).
+	Duplicates int
+	// StaleHeartbeats counts renewals ignored because the lease they named
+	// was no longer current.
+	StaleHeartbeats int
+}
+
+// lease is one active grant.
+type lease struct {
+	epoch    uint64
+	holder   string
+	deadline time.Time
+}
+
+// Ledger is the coordinator's lease book: which units are out on lease, to
+// whom, under which epoch, and until when. It is pure bookkeeping — every
+// method takes the current time explicitly and touches no clock, so the
+// renew/reclaim race rules are unit-testable with plain values. Not safe
+// for concurrent use; the coordinator's single event loop owns it.
+type Ledger struct {
+	active map[string]*lease
+	// epochs is the per-key high-water mark, surviving reclaims (and, via
+	// restore, coordinator restarts): grants only ever move it up, which is
+	// what makes a zombie's late result detectable.
+	epochs map[string]uint64
+	stats  Stats
+}
+
+// NewLedger builds an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{active: map[string]*lease{}, epochs: map[string]uint64{}}
+}
+
+// Restore raises a key's epoch high-water mark (checkpoint recovery). It
+// never lowers it.
+func (l *Ledger) Restore(key string, epoch uint64) {
+	if epoch > l.epochs[key] {
+		l.epochs[key] = epoch
+	}
+}
+
+// Grant leases key to holder until now+ttl and returns the new epoch —
+// always strictly above every epoch ever granted for the key.
+func (l *Ledger) Grant(key, holder string, now time.Time, ttl time.Duration) uint64 {
+	epoch := l.epochs[key] + 1
+	l.epochs[key] = epoch
+	l.active[key] = &lease{epoch: epoch, holder: holder, deadline: now.Add(ttl)}
+	l.stats.Granted++
+	return epoch
+}
+
+// Renew extends key's lease to now+ttl iff the named epoch is the active
+// one; a stale renewal (expired or superseded lease) is counted and ignored.
+func (l *Ledger) Renew(key string, epoch uint64, now time.Time, ttl time.Duration) bool {
+	ls, ok := l.active[key]
+	if !ok || ls.epoch != epoch {
+		l.stats.StaleHeartbeats++
+		return false
+	}
+	ls.deadline = now.Add(ttl)
+	l.stats.Renewed++
+	return true
+}
+
+// Current returns the active lease epoch for key, if one is out.
+func (l *Ledger) Current(key string) (epoch uint64, holder string, ok bool) {
+	ls, found := l.active[key]
+	if !found {
+		return 0, "", false
+	}
+	return ls.epoch, ls.holder, true
+}
+
+// LastEpoch returns the key's epoch high-water mark (0 if never granted).
+// A result is current iff it carries this epoch and the unit is not done —
+// an expired-but-never-superseded lease's result is still the truth.
+func (l *Ledger) LastEpoch(key string) uint64 { return l.epochs[key] }
+
+// Expired returns the keys (sorted, for deterministic requeue order) whose
+// active lease deadline is at or before now.
+func (l *Ledger) Expired(now time.Time) []string {
+	var keys []string
+	for key, ls := range l.active {
+		if !ls.deadline.After(now) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// NextDeadline returns the earliest active-lease deadline, if any lease is
+// out — what the coordinator arms its expiry alarm for.
+func (l *Ledger) NextDeadline() (time.Time, bool) {
+	keys := make([]string, 0, len(l.active))
+	for key := range l.active {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var min time.Time
+	found := false
+	for _, key := range keys {
+		if d := l.active[key].deadline; !found || d.Before(min) {
+			min, found = d, true
+		}
+	}
+	return min, found
+}
+
+// Reclaim drops key's active lease after expiry, counting it. The epoch
+// high-water mark stays.
+func (l *Ledger) Reclaim(key string) {
+	if _, ok := l.active[key]; ok {
+		delete(l.active, key)
+		l.stats.Expired++
+	}
+}
+
+// ReclaimLost drops key's active lease because its holder's connection
+// died, counting it separately from deadline expiries.
+func (l *Ledger) ReclaimLost(key string) {
+	if _, ok := l.active[key]; ok {
+		delete(l.active, key)
+		l.stats.WorkersLost++
+	}
+}
+
+// Release drops key's active lease without counting a reclaim (the unit
+// completed or the campaign is shutting down).
+func (l *Ledger) Release(key string) { delete(l.active, key) }
+
+// Holdings returns the sorted keys holder currently has on lease (one, for
+// well-behaved workers; the type doesn't enforce it).
+func (l *Ledger) Holdings(holder string) []string {
+	var keys []string
+	for key, ls := range l.active {
+		if ls.holder == holder {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats returns the counters so far.
+func (l *Ledger) Stats() Stats { return l.stats }
+
+// CountZombieResult, CountZombieObs and CountDuplicate record merge-time
+// outcomes the ledger itself cannot see (the coordinator decides them
+// against the done set).
+func (l *Ledger) CountZombieResult() { l.stats.ZombieResults++ }
+
+// CountZombieObs records a stale-epoch observation that was merged anyway.
+func (l *Ledger) CountZombieObs() { l.stats.ZombieObs++ }
+
+// CountDuplicate records a result for an already-completed unit.
+func (l *Ledger) CountDuplicate() { l.stats.Duplicates++ }

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLedgerEpochsMonotonic(t *testing.T) {
+	l := NewLedger()
+	t0 := time.Unix(0, 0)
+	e1 := l.Grant("u", "a", t0, 10*time.Second)
+	if e1 != 1 {
+		t.Fatalf("first epoch = %d, want 1", e1)
+	}
+	l.Reclaim("u")
+	e2 := l.Grant("u", "b", t0, 10*time.Second)
+	if e2 != 2 {
+		t.Fatalf("epoch after reclaim = %d, want 2", e2)
+	}
+	if l.LastEpoch("u") != 2 {
+		t.Fatalf("LastEpoch = %d, want 2", l.LastEpoch("u"))
+	}
+	l.Release("u")
+	if l.LastEpoch("u") != 2 {
+		t.Fatal("Release must keep the epoch high-water mark")
+	}
+	if e3 := l.Grant("u", "c", t0, 10*time.Second); e3 != 3 {
+		t.Fatalf("epoch after release = %d, want 3", e3)
+	}
+}
+
+func TestLedgerRestoreRaisesHighWaterMark(t *testing.T) {
+	l := NewLedger()
+	l.Restore("u", 7)
+	l.Restore("u", 3) // never lowers
+	if e := l.Grant("u", "a", time.Unix(0, 0), time.Second); e != 8 {
+		t.Fatalf("epoch after restore = %d, want 8", e)
+	}
+}
+
+func TestLedgerRenew(t *testing.T) {
+	l := NewLedger()
+	t0 := time.Unix(100, 0)
+	e := l.Grant("u", "a", t0, 10*time.Second)
+	if !l.Renew("u", e, t0.Add(8*time.Second), 10*time.Second) {
+		t.Fatal("current-epoch renew should succeed")
+	}
+	// Renewed: no expiry at t0+15s (deadline moved to t0+18s).
+	if keys := l.Expired(t0.Add(15 * time.Second)); len(keys) != 0 {
+		t.Fatalf("expired after renew = %v", keys)
+	}
+	if keys := l.Expired(t0.Add(18 * time.Second)); len(keys) != 1 || keys[0] != "u" {
+		t.Fatalf("expired at deadline = %v", keys)
+	}
+	// Stale-epoch renew is ignored and counted.
+	if l.Renew("u", e+1, t0, 10*time.Second) {
+		t.Fatal("stale renew should fail")
+	}
+	l.Reclaim("u")
+	if l.Renew("u", e, t0, 10*time.Second) {
+		t.Fatal("renew of reclaimed lease should fail")
+	}
+	st := l.Stats()
+	if st.Renewed != 1 || st.StaleHeartbeats != 2 || st.Expired != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLedgerExpiredSorted(t *testing.T) {
+	l := NewLedger()
+	t0 := time.Unix(0, 0)
+	l.Grant("b", "w", t0, time.Second)
+	l.Grant("a", "w", t0, time.Second)
+	l.Grant("c", "w", t0, time.Hour)
+	keys := l.Expired(t0.Add(2 * time.Second))
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("expired = %v, want [a b]", keys)
+	}
+	if at, ok := l.NextDeadline(); !ok || !at.Equal(t0.Add(time.Second)) {
+		t.Fatalf("NextDeadline = %v, %v", at, ok)
+	}
+}
+
+func TestLedgerHoldings(t *testing.T) {
+	l := NewLedger()
+	t0 := time.Unix(0, 0)
+	l.Grant("u2", "a", t0, time.Second)
+	l.Grant("u1", "a", t0, time.Second)
+	l.Grant("u3", "b", t0, time.Second)
+	if h := l.Holdings("a"); len(h) != 2 || h[0] != "u1" || h[1] != "u2" {
+		t.Fatalf("Holdings(a) = %v", h)
+	}
+	if _, holder, ok := l.Current("u3"); !ok || holder != "b" {
+		t.Fatalf("Current(u3) holder = %q, %v", holder, ok)
+	}
+	l.ReclaimLost("u3")
+	if _, _, ok := l.Current("u3"); ok {
+		t.Fatal("u3 should be reclaimed")
+	}
+	if l.Stats().WorkersLost != 1 {
+		t.Fatalf("WorkersLost = %d", l.Stats().WorkersLost)
+	}
+}

@@ -1,0 +1,234 @@
+// Package transport carries the shard wire protocol over real channels:
+// stdio pipes for locally spawned workers, TCP for remote ones, in-memory
+// pairs for tests, plus a fault-injecting wrapper that replays
+// chaos.ProcFaults scenarios (heartbeat loss, delayed and duplicated
+// delivery) against a coordinator deterministically. It is the shard
+// subsystem's only non-deterministic layer — everything above it is pure
+// bookkeeping on an injected clock.
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"ppatuner/internal/clock"
+	"ppatuner/internal/pdtool/chaos"
+	"ppatuner/internal/shard"
+)
+
+// streamConn frames Msgs as line-delimited JSON over a byte stream.
+type streamConn struct {
+	sendMu  sync.Mutex
+	enc     *json.Encoder
+	dec     *json.Decoder
+	closers []io.Closer
+}
+
+// Stream builds a Conn over a read and a write stream (each optionally an
+// io.Closer; Close closes whichever are).
+func Stream(r io.Reader, w io.Writer) shard.Conn {
+	c := &streamConn{enc: json.NewEncoder(w), dec: json.NewDecoder(r)}
+	if rc, ok := r.(io.Closer); ok {
+		c.closers = append(c.closers, rc)
+	}
+	if wc, ok := w.(io.Closer); ok && any(w) != any(r) {
+		c.closers = append(c.closers, wc)
+	}
+	return c
+}
+
+func (c *streamConn) Send(m shard.Msg) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.enc.Encode(&m)
+}
+
+func (c *streamConn) Recv() (shard.Msg, error) {
+	var m shard.Msg
+	if err := c.dec.Decode(&m); err != nil {
+		return shard.Msg{}, err
+	}
+	return m, nil
+}
+
+func (c *streamConn) Close() error {
+	var first error
+	for _, cl := range c.closers {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// chanConn is one side of an in-memory pair.
+type chanConn struct {
+	send   chan<- shard.Msg
+	recv   <-chan shard.Msg
+	done   chan struct{}
+	closed *sync.Once
+}
+
+const loopbackDepth = 256
+
+// Loopback builds an in-memory connection pair: what one side Sends, the
+// other Recvs. Closing either side unblocks both (Recv returns io.EOF), so
+// tests sever a "worker process" with one call.
+func Loopback() (shard.Conn, shard.Conn) {
+	ab := make(chan shard.Msg, loopbackDepth)
+	ba := make(chan shard.Msg, loopbackDepth)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &chanConn{send: ab, recv: ba, done: done, closed: once}
+	b := &chanConn{send: ba, recv: ab, done: done, closed: once}
+	return a, b
+}
+
+func (c *chanConn) Send(m shard.Msg) error {
+	// Check done first: with buffer space free, a plain two-way select would
+	// pick either ready case at random and let a Send slip through after Close.
+	select {
+	case <-c.done:
+		return io.ErrClosedPipe
+	default:
+	}
+	select {
+	case <-c.done:
+		return io.ErrClosedPipe
+	case c.send <- m:
+		return nil
+	}
+}
+
+func (c *chanConn) Recv() (shard.Msg, error) {
+	// Drain messages already in flight even after close, so a kill delivered
+	// "just after" a result does not retroactively unsend it.
+	select {
+	case m := <-c.recv:
+		return m, nil
+	default:
+	}
+	select {
+	case <-c.done:
+		return shard.Msg{}, io.EOF
+	case m := <-c.recv:
+		return m, nil
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.closed.Do(func() { close(c.done) })
+	return nil
+}
+
+// Dial connects to a coordinator's TCP listener.
+func Dial(addr string) (shard.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return Stream(conn, conn), nil
+}
+
+// Listen accepts worker connections on addr, forwarding each as a Conn on
+// the returned channel until ctx is done or the listener fails. The
+// returned close function stops the listener.
+func Listen(ctx context.Context, addr string) (<-chan shard.Conn, func() error, string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	conns := make(chan shard.Conn)
+	go func() {
+		defer close(conns)
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			select {
+			case conns <- Stream(c, c):
+			case <-ctx.Done():
+				c.Close()
+				return
+			}
+		}
+	}()
+	return conns, l.Close, l.Addr().String(), nil
+}
+
+// Spawn starts a worker subprocess speaking the protocol on its
+// stdin/stdout (stderr passes through for diagnostics) and returns the
+// coordinator-side Conn. The caller owns the process: Wait it after the
+// campaign, or kill it to simulate worker death — its lease is reclaimed
+// like any other.
+func Spawn(bin string, args ...string) (shard.Conn, *exec.Cmd, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: spawn %s: %w", bin, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: spawn %s: %w", bin, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, nil, fmt.Errorf("transport: spawn %s: %w", bin, err)
+	}
+	return Stream(stdout, stdin), cmd, nil
+}
+
+// faultConn wraps the coordinator side of a Conn and injects delivery
+// faults on the virtual timeline: heartbeats vanish inside the configured
+// windows, results arrive late and (optionally) twice. Send passes through
+// untouched — the faults model the worker→coordinator path, where the
+// interesting races live.
+type faultConn struct {
+	shard.Conn
+	faults  chaos.ProcFaults
+	clk     clock.Clock
+	start   time.Time
+	pending []shard.Msg
+}
+
+// Fault wraps conn with delivery faults driven by clk's virtual timeline
+// (elapsed time is measured from the moment Fault is called).
+func Fault(conn shard.Conn, faults chaos.ProcFaults, clk clock.Clock) shard.Conn {
+	return &faultConn{Conn: conn, faults: faults, clk: clk, start: clk.Now()}
+}
+
+func (c *faultConn) Recv() (shard.Msg, error) {
+	for {
+		if len(c.pending) > 0 {
+			m := c.pending[0]
+			c.pending = c.pending[1:]
+			return m, nil
+		}
+		m, err := c.Conn.Recv()
+		if err != nil {
+			return shard.Msg{}, err
+		}
+		switch m.Type {
+		case shard.MsgHeartbeat:
+			if c.faults.DropHeartbeat(c.clk.Now().Sub(c.start)) {
+				continue
+			}
+		case shard.MsgResult:
+			if d := c.faults.ResultDelay; d > 0 {
+				_ = c.clk.Sleep(context.Background(), d)
+			}
+			if c.faults.DuplicateResults {
+				c.pending = append(c.pending, m)
+			}
+		}
+		return m, nil
+	}
+}

@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"context"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"ppatuner/internal/clock"
+	"ppatuner/internal/eval"
+	"ppatuner/internal/pdtool/chaos"
+	"ppatuner/internal/robust"
+	"ppatuner/internal/shard"
+)
+
+func sampleMsg() shard.Msg {
+	return shard.Msg{
+		Type:        shard.MsgGrant,
+		Key:         "Scenario|space|M|seed=1",
+		Epoch:       3,
+		Unit:        &eval.UnitSpec{Scenario: "S", Space: "sp", Method: eval.PPATuner, Seed: 1},
+		LeaseMillis: 30000,
+		RandState:   []byte{1, 2, 3},
+		Replay:      []robust.Observation{{Index: 0, QoR: []float64{1, 2, 3}}},
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	r1, w1 := io.Pipe()
+	r2, w2 := io.Pipe()
+	a := Stream(r1, w2)
+	b := Stream(r2, w1)
+	want := sampleMsg()
+	go func() {
+		if err := a.Send(want); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != want.Type || got.Key != want.Key || got.Epoch != want.Epoch ||
+		got.Unit == nil || *got.Unit != *want.Unit ||
+		len(got.Replay) != 1 || got.Replay[0].Index != 0 || len(got.Replay[0].QoR) != 3 {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+	a.Close()
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("recv after peer close should fail")
+	}
+}
+
+func TestLoopbackDrainsInFlightAfterClose(t *testing.T) {
+	a, b := Loopback()
+	if err := a.Send(shard.Msg{Type: shard.MsgResult, Key: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	// A "kill" just after a result must not retroactively unsend it.
+	a.Close()
+	m, err := b.Recv()
+	if err != nil || m.Key != "u" {
+		t.Fatalf("in-flight message lost after close: %+v, %v", m, err)
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("drained conn should report EOF, got %v", err)
+	}
+	if err := b.Send(shard.Msg{Type: shard.MsgHeartbeat}); err != io.ErrClosedPipe {
+		t.Fatalf("send on closed conn = %v, want ErrClosedPipe", err)
+	}
+}
+
+func TestDialListen(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	conns, closeL, addr, err := Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeL()
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		t.Fatalf("bad listener addr %q: %v", addr, err)
+	}
+	worker, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	coord := <-conns
+	defer coord.Close()
+	if err := worker.Send(shard.Msg{Type: shard.MsgHello, Worker: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := coord.Recv()
+	if err != nil || m.Type != shard.MsgHello || m.Worker != "w" {
+		t.Fatalf("hello over TCP = %+v, %v", m, err)
+	}
+}
+
+func TestFaultDropsHeartbeatsAndDuplicatesResults(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	workerSide, coordRaw := Loopback()
+	coord := Fault(coordRaw, chaos.ProcFaults{
+		DropHeartbeats:   []chaos.Window{{Start: 0, End: time.Hour}},
+		DuplicateResults: true,
+	}, fc)
+
+	// Heartbeats inside the drop window vanish; the next message through is
+	// the result, delivered twice.
+	for i := 0; i < 3; i++ {
+		if err := workerSide.Send(shard.Msg{Type: shard.MsgHeartbeat, Epoch: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := workerSide.Send(shard.Msg{Type: shard.MsgResult, Key: "u", Epoch: 9}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		m, err := coord.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type != shard.MsgResult || m.Key != "u" || m.Epoch != 9 {
+			t.Fatalf("delivery %d = %+v, want the result", i, m)
+		}
+	}
+
+	// Outside the window heartbeats flow again.
+	fc.Advance(2 * time.Hour)
+	if err := workerSide.Send(shard.Msg{Type: shard.MsgHeartbeat, Epoch: 7}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := coord.Recv()
+	if err != nil || m.Type != shard.MsgHeartbeat || m.Epoch != 7 {
+		t.Fatalf("post-window heartbeat = %+v, %v", m, err)
+	}
+}
+
+func TestFaultDelaysResultsOnClock(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	workerSide, coordRaw := Loopback()
+	coord := Fault(coordRaw, chaos.ProcFaults{ResultDelay: 42 * time.Second}, fc)
+	if err := workerSide.Send(shard.Msg{Type: shard.MsgResult, Key: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	before := fc.Sleeps()
+	if _, err := coord.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Sleeps() != before+1 {
+		t.Fatalf("result delivery should sleep once on the fault clock, sleeps %d -> %d", before, fc.Sleeps())
+	}
+	if got := fc.Now(); !got.Equal(time.Unix(42, 0)) {
+		t.Fatalf("virtual time after delayed delivery = %v", got)
+	}
+}

@@ -1,0 +1,144 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ppatuner/internal/clock"
+	"ppatuner/internal/eval"
+	"ppatuner/internal/robust"
+)
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// ID names the worker in grants, lease records and log lines. Empty is
+	// allowed; the coordinator assigns a positional name.
+	ID string
+	// Scenario resolves a wire-form scenario name to the built scenario;
+	// defaults to eval.StandardScenario. Resolved scenarios are cached per
+	// RunWorker call (construction regenerates benchmark datasets).
+	Scenario func(name string) (*eval.Scenario, error)
+	// Space resolves a wire-form space name; defaults to eval.SpaceByName.
+	Space func(name string) (eval.ObjSpace, error)
+	// Run is the base harness configuration applied to every unit — the
+	// place to hang the resilient-evaluator middleware (robust retries,
+	// breaker, chaos under test). Run.Src is ignored: each unit restores
+	// its own source from the grant.
+	Run eval.RunOpts
+	// HeartbeatEvery paces lease renewals while a unit computes. Zero
+	// derives a third of the granted lease TTL.
+	HeartbeatEvery time.Duration
+	// Clock paces heartbeats; defaults to the wall clock.
+	Clock clock.Clock
+}
+
+// RunWorker serves one coordinator connection: hello, then a grant/report
+// loop until shutdown or connection loss (io.EOF is a clean exit — the
+// coordinator went away after the campaign finished). One unit runs at a
+// time; while it computes, a heartbeat goroutine renews the lease, and
+// every fresh observation is streamed the moment the evaluator pays for
+// it, so a later SIGKILL forfeits only wall-clock time — never results.
+//
+// Unit failures are reported, not returned: a breaker refusal
+// (robust.ErrBreakerOpen) ships as a parked failure for the coordinator to
+// requeue, anything else as a hard failure for it to abort on. RunWorker
+// itself only fails on transport errors.
+func RunWorker(ctx context.Context, conn Conn, opt WorkerOptions) error {
+	if opt.Scenario == nil {
+		opt.Scenario = eval.StandardScenario
+	}
+	if opt.Space == nil {
+		opt.Space = eval.SpaceByName
+	}
+	if opt.Clock == nil {
+		opt.Clock = clock.Real()
+	}
+	if err := conn.Send(Msg{Type: MsgHello, Worker: opt.ID}); err != nil {
+		return err
+	}
+	scenarios := map[string]*eval.Scenario{}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		switch msg.Type {
+		case MsgShutdown:
+			return nil
+		case MsgGrant:
+			if err := runGrant(ctx, conn, opt, scenarios, msg); err != nil {
+				return err
+			}
+		default:
+			// Unknown types are ignored for forward compatibility.
+		}
+	}
+}
+
+// runGrant executes one granted unit and reports its outcome.
+func runGrant(ctx context.Context, conn Conn, opt WorkerOptions, scenarios map[string]*eval.Scenario, msg Msg) error {
+	if msg.Unit == nil {
+		return fmt.Errorf("shard: grant for %s carries no unit", msg.Key)
+	}
+	// Heartbeats start before scenario resolution: building a scenario
+	// regenerates benchmark datasets, which can outlast a lease TTL on its
+	// own — the lease must stay renewed through it.
+	every := opt.HeartbeatEvery
+	if every <= 0 {
+		every = time.Duration(msg.LeaseMillis) * time.Millisecond / 3
+	}
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if opt.Clock.Sleep(hbCtx, every) != nil {
+				return
+			}
+			if conn.Send(Msg{Type: MsgHeartbeat, Key: msg.Key, Epoch: msg.Epoch}) != nil {
+				return
+			}
+		}
+	}()
+	defer wg.Wait()
+	defer stopHB()
+
+	sc, ok := scenarios[msg.Unit.Scenario]
+	if !ok {
+		var err error
+		sc, err = opt.Scenario(msg.Unit.Scenario)
+		if err != nil {
+			return conn.Send(Msg{Type: MsgFail, Key: msg.Key, Epoch: msg.Epoch, Error: err.Error()})
+		}
+		scenarios[msg.Unit.Scenario] = sc
+	}
+	space, err := opt.Space(msg.Unit.Space)
+	if err != nil {
+		return conn.Send(Msg{Type: MsgFail, Key: msg.Key, Epoch: msg.Epoch, Error: err.Error()})
+	}
+
+	res, end, runErr := eval.ExecuteUnit(sc, space, *msg.Unit, msg.RandState, msg.Replay, opt.Run, func(o robust.Observation) error {
+		return conn.Send(Msg{Type: MsgObs, Key: msg.Key, Epoch: msg.Epoch, Obs: &o})
+	})
+	if runErr != nil {
+		return conn.Send(Msg{
+			Type:   MsgFail,
+			Key:    msg.Key,
+			Epoch:  msg.Epoch,
+			Error:  runErr.Error(),
+			Parked: errors.Is(runErr, robust.ErrBreakerOpen),
+		})
+	}
+	return conn.Send(Msg{Type: MsgResult, Key: msg.Key, Epoch: msg.Epoch, Result: &res, RandEnd: end})
+}
