@@ -39,7 +39,14 @@ func main() {
 	breakerN := flag.Int("breaker", 0, "circuit breaker: trip after N consecutive transient failures and park the unit (0 disables)")
 	maxOutage := flag.Duration("max-outage", 5*time.Minute, "abort when one outage episode keeps the breaker open longer than this")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos injector's failure stream")
+	gpFlag := flag.String("gp", "exact", "PPATuner surrogate: exact | sparse | sparse:<m> (must match the coordinator's -gp for consistent cells)")
 	flag.Parse()
+
+	gpSpec, err := ppatuner.ParseGPSpec(*gpFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppaworker: %v\n", err)
+		os.Exit(2)
+	}
 
 	wrap, err := buildWrap(*outageSpec, *breakerN, *maxOutage, *chaosSeed)
 	if err != nil {
@@ -62,7 +69,7 @@ func main() {
 	err = shard.RunWorker(context.Background(), conn, shard.WorkerOptions{
 		ID:             *id,
 		HeartbeatEvery: *heartbeat,
-		Run:            eval.RunOpts{Wrap: wrap},
+		Run:            eval.RunOpts{Wrap: wrap, GP: gpSpec},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppaworker: %v\n", err)

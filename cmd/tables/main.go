@@ -72,9 +72,15 @@ func main() {
 	coordAddr := flag.String("coordinator", "", "distribute units to remote workers: TCP address to accept ppaworker -connect dials on")
 	workersRemote := flag.Int("workers-remote", 1, "remote workers expected on -coordinator (recorded in TABLES.json)")
 	leaseTTL := flag.Duration("lease", 30*time.Second, "with -coordinator: lease TTL before a silent worker loses its unit")
+	gpFlag := flag.String("gp", "exact", "PPATuner surrogate: exact | sparse | sparse:<m> (inducing-point approximation, O(n·m²) per refit)")
 	flag.Parse()
 
 	seeds, err := eval.ParseSeeds(*seedSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(2)
+	}
+	gpSpec, err := ppatuner.ParseGPSpec(*gpFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 		os.Exit(2)
@@ -179,7 +185,7 @@ func main() {
 		c := &ppatuner.Campaign{
 			Scenario: s, Seeds: seeds, Workers: *workers, Checkpoint: ck,
 			Breaker: brk,
-			Opts:    ppatuner.HarnessRunOpts{Wrap: wrap},
+			Opts:    ppatuner.HarnessRunOpts{Wrap: wrap, GP: gpSpec},
 		}
 		var tbl *ppatuner.HarnessTable
 		if distConns != nil {

@@ -28,7 +28,7 @@ A call to one of the curated functions whose error result is dropped — the
 call used as a statement, deferred, spawned with go, or assigned to the
 blank identifier — is flagged. The list: mat.NewCholesky,
 mat.CholeskyWithJitter, mat.SolveSPD, (*mat.Cholesky).Extend,
-(*mat.Cholesky).FactorizePacked; robust.LoadCheckpoint,
+(*mat.Cholesky).FactorizePacked; gp.SelectInducing; robust.LoadCheckpoint,
 (*robust.Checkpoint).Add, (*robust.Checkpoint).Save,
 (*robust.Checkpoint).SetRandState, (*robust.Checkpoint).SetIters;
 robust.LoadCampaignCheckpoint, (*robust.CampaignCheckpoint).Complete,
@@ -41,7 +41,13 @@ robust.LoadCampaignCheckpoint, (*robust.CampaignCheckpoint).Complete,
 The lease-ledger trio joins the list with the distributed-campaign
 coordinator: a dropped Lease error hides an epoch regression (the zombie
 defence), and a dropped AddPartialObservation error silently forfeits
-streamed progress the next re-grant was meant to replay.`,
+streamed progress the next re-grant was meant to replay.
+
+gp.SelectInducing joins with the sparse surrogate: its error is the only
+signal that the inducing-point selection was handed an empty point set, an
+out-of-range budget, or mismatched lengthscales — proceeding with the nil
+index slice builds an empty inducing set and every posterior from it is
+garbage.`,
 	Run: run,
 }
 
@@ -54,6 +60,9 @@ var must = map[string]map[string]bool{
 		"SolveSPD":                 true,
 		"Cholesky.Extend":          true,
 		"Cholesky.FactorizePacked": true,
+	},
+	"ppatuner/internal/gp": {
+		"SelectInducing": true,
 	},
 	"ppatuner/internal/robust": {
 		"LoadCheckpoint":                           true,

@@ -3,6 +3,7 @@
 package a
 
 import (
+	"ppatuner/internal/gp"
 	"ppatuner/internal/mat"
 	"ppatuner/internal/robust"
 )
@@ -47,4 +48,18 @@ func good(a *mat.Matrix, c *mat.Cholesky, ck *robust.Checkpoint) error {
 		return err
 	}
 	return ck.Save()
+}
+
+func badInducing(x [][]float64) {
+	gp.SelectInducing(x, nil, 4, 0)           // want `gp.SelectInducing discards its error`
+	idx, _ := gp.SelectInducing(x, nil, 4, 0) // want `gp.SelectInducing assigns its error to _`
+	_ = idx
+}
+
+func goodInducing(x [][]float64) ([]int, error) {
+	idx, err := gp.SelectInducing(x, []float64{1}, 4, 9)
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
 }

@@ -1,0 +1,7 @@
+// Stub of the real internal/gp surface: only the signatures the
+// mustcheck analyzer resolves against matter here.
+package gp
+
+func SelectInducing(x [][]float64, lens []float64, m int, seed uint64) ([]int, error) {
+	return nil, nil
+}

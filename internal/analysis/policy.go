@@ -18,6 +18,10 @@ import "strings"
 // *rand.Rand values plumbed from a seed are the only sanctioned randomness.
 var Deterministic = []string{
 	"ppatuner/internal/core",
+	// internal/gp includes the sparse inducing-point surrogate: its
+	// farthest-point selection is a pure function of (inputs, lengthscales,
+	// caller-provided seed), so the whole package stays under the ban — no
+	// RNG draws or wall-clock reads anywhere in the approximation.
 	"ppatuner/internal/gp",
 	"ppatuner/internal/mat",
 	"ppatuner/internal/sample",

@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"ppatuner/internal/gp"
+)
+
+// TestSparseCampaignMatchesExact is the tentpole acceptance check at the
+// campaign level: a PPATuner seed sweep run with the sparse:64 surrogate must
+// land statistically on the exact GP's front quality — mean hyper-volume
+// error and ADRS within a small envelope of each other, and both under the
+// same absolute quality bars the exact solver meets on this scenario.
+func TestSparseCampaignMatchesExact(t *testing.T) {
+	s := miniScenario(t)
+	space := Spaces()[1] // Power-Delay
+	seeds := []int64{5, 6, 7}
+
+	sweep := func(spec gp.Spec) (meanHV, meanADRS float64) {
+		for _, seed := range seeds {
+			out, err := RunMethodOpts(PPATuner, s, space, seed, RunOpts{GP: spec})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", spec, seed, err)
+			}
+			hv, adrs := Score(s, space, out)
+			if math.IsNaN(hv) || math.IsNaN(adrs) {
+				t.Fatalf("%v seed %d: NaN score", spec, seed)
+			}
+			meanHV += hv
+			meanADRS += adrs
+		}
+		n := float64(len(seeds))
+		return meanHV / n, meanADRS / n
+	}
+
+	exHV, exADRS := sweep(gp.Spec{})
+	spHV, spADRS := sweep(gp.Spec{Sparse: true, M: 64})
+	t.Logf("exact:     mean HV err %.4f, mean ADRS %.4f", exHV, exADRS)
+	t.Logf("sparse:64: mean HV err %.4f, mean ADRS %.4f", spHV, spADRS)
+
+	// Absolute bars: both surrogates must produce competitive fronts.
+	for _, c := range []struct {
+		name   string
+		hv, ad float64
+	}{{"exact", exHV, exADRS}, {"sparse:64", spHV, spADRS}} {
+		if c.hv > 0.15 {
+			t.Errorf("%s: mean HV error %.4f exceeds 0.15", c.name, c.hv)
+		}
+		if c.ad > 0.15 {
+			t.Errorf("%s: mean ADRS %.4f exceeds 0.15", c.name, c.ad)
+		}
+	}
+	// Equivalence envelope: the sparse sweep may not drift away from exact by
+	// more than the scenario's seed-to-seed noise scale.
+	if d := math.Abs(exHV - spHV); d > 0.08 {
+		t.Errorf("mean HV error differs by %.4f between exact and sparse:64 (want <= 0.08)", d)
+	}
+	if d := math.Abs(exADRS - spADRS); d > 0.08 {
+		t.Errorf("mean ADRS differs by %.4f between exact and sparse:64 (want <= 0.08)", d)
+	}
+}

@@ -94,30 +94,11 @@ func (w *fitWS) fillGram(g *GP) {
 		sq := w.sqd
 		switch g.cov.Kind {
 		case Matern52:
-			// Two passes: accumulate r² into the Gram buffer, then run the
-			// vectorised distance→covariance transform over it in place.
-			if d == 8 && len(inv2) == 8 && len(sq) == np*8 {
-				// The tuning space is 8-dimensional in every paper benchmark,
-				// so unrolling with named locals lets the compiler drop all
-				// bounds checks from the dominant loop.
-				c0, c1, c2, c3 := inv2[0], inv2[1], inv2[2], inv2[3]
-				c4, c5, c6, c7 := inv2[4], inv2[5], inv2[6], inv2[7]
-				for p := 0; p < np; p++ {
-					row := sq[p*8 : p*8+8 : p*8+8]
-					gm[p] = row[0]*c0 + row[1]*c1 + row[2]*c2 + row[3]*c3 +
-						row[4]*c4 + row[5]*c5 + row[6]*c6 + row[7]*c7
-				}
-			} else {
-				for p := 0; p < np; p++ {
-					row := sq[p*d : p*d+d : p*d+d]
-					var r2 float64
-					for k := 0; k < d; k++ {
-						r2 += row[k] * inv2[k]
-					}
-					gm[p] = r2
-				}
-			}
-			simd.Matern52FromR2(gm[:np], vr)
+			// One fused pass: the kernel scales each row of cached squared
+			// differences by 1/ℓ² and applies the distance→covariance
+			// transform without a second sweep over the Gram buffer. The
+			// paper's 8-dimensional tuning space hits the asm fast path.
+			simd.Matern52ARD(gm[:np], sq, inv2, vr)
 		default:
 			for p := 0; p < np; p++ {
 				row := sq[p*d : p*d+d : p*d+d]

@@ -1,0 +1,80 @@
+package gp
+
+import "fmt"
+
+// SelectInducing picks m inducing points from x by farthest-point traversal
+// on the ARD-scaled metric d²(p, q) = Σ_k ((p_k−q_k)/ℓ_k)²: the walk starts
+// at index seed mod len(x) and greedily adds the point farthest from the
+// already-selected set (ties broken toward the lowest index). The result is
+// the classic 2-approximation of the k-center cover, so the inducing set
+// spans the design space under the same geometry the kernel uses.
+//
+// The returned indices are in selection order. Everything is a pure
+// function of (x, lens, m, seed) — no RNG draws beyond the caller-provided
+// seed — so sparse posteriors are byte-reproducible; seeds come from the
+// campaign PCG stream.
+//
+// lens must have either one entry (isotropic) or len(x[i]) entries (ARD).
+// An error is returned for an empty x, a non-positive or oversized m, or a
+// lengthscale vector that matches neither form.
+func SelectInducing(x [][]float64, lens []float64, m int, seed uint64) ([]int, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("gp: SelectInducing on empty point set")
+	}
+	if m <= 0 || m > n {
+		return nil, fmt.Errorf("gp: SelectInducing budget m=%d out of range (have %d points)", m, n)
+	}
+	d := len(x[0])
+	if len(lens) != 1 && len(lens) != d {
+		return nil, fmt.Errorf("gp: SelectInducing got %d lengthscales for %d dimensions", len(lens), d)
+	}
+	inv2 := make([]float64, d)
+	for k := range inv2 {
+		l := lens[0]
+		if len(lens) == d {
+			l = lens[k]
+		}
+		inv2[k] = 1 / (l * l)
+	}
+	dist2 := func(p, q []float64) float64 {
+		var s float64
+		for k := 0; k < d; k++ {
+			dk := p[k] - q[k]
+			s += dk * dk * inv2[k]
+		}
+		return s
+	}
+
+	sel := make([]int, 0, m)
+	first := int(seed % uint64(n))
+	sel = append(sel, first)
+	// d2[i] is the squared distance from x[i] to the selected set; selected
+	// points are pinned at -1 so duplicates of a selected point (distance 0)
+	// can never be re-picked.
+	d2 := make([]float64, n)
+	for i := range x {
+		d2[i] = dist2(x[i], x[first])
+	}
+	d2[first] = -1
+	for len(sel) < m {
+		best, bestD := -1, -1.0
+		for i, v := range d2 {
+			if v > bestD {
+				best, bestD = i, v
+			}
+		}
+		sel = append(sel, best)
+		d2[best] = -1
+		xb := x[best]
+		for i := range x {
+			if d2[i] < 0 {
+				continue
+			}
+			if nd := dist2(x[i], xb); nd < d2[i] {
+				d2[i] = nd
+			}
+		}
+	}
+	return sel, nil
+}

@@ -1,0 +1,22 @@
+package mat
+
+import "ppatuner/internal/simd"
+
+// AddScaledOuterPacked accumulates the scaled outer product c·v·vᵀ into dst,
+// the packed lower triangle of an n×n symmetric matrix with n = len(v)
+// (row i at offset i(i+1)/2, as used by Cholesky.FactorizePacked).
+//
+// This is the rank-1 building block of the sparse-GP information matrix
+// Σ = Kuu + Σᵢ cᵢ·kᵤ(xᵢ)·kᵤ(xᵢ)ᵀ: each training point (and each incremental
+// AddTarget) lands in the posterior as one call. Row i is a single fused
+// multiply-add sweep, so the whole update runs at SIMD speed where available.
+func AddScaledOuterPacked(dst, v []float64, c float64) {
+	if len(dst) != PackedLen(len(v)) {
+		panic("mat: AddScaledOuterPacked dst length does not match PackedLen(len(v))")
+	}
+	idx := 0
+	for i, vi := range v {
+		simd.Axpy(dst[idx:idx+i+1], v, c*vi)
+		idx += i + 1
+	}
+}

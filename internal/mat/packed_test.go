@@ -1,0 +1,84 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAddScaledOuterPacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 33} {
+		packed := make([]float64, PackedLen(n))
+		for i := range packed {
+			packed[i] = rng.NormFloat64()
+		}
+		want := append([]float64(nil), packed...)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		c := 0.5 + rng.Float64()
+		AddScaledOuterPacked(packed, v, c)
+		idx := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				want[idx] += c * v[i] * v[j]
+				if diff := math.Abs(packed[idx] - want[idx]); diff > 1e-12*(1+math.Abs(want[idx])) {
+					t.Fatalf("n=%d entry (%d,%d): got %g want %g", n, i, j, packed[idx], want[idx])
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func TestAddScaledOuterPackedLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on mismatched packed length")
+		}
+	}()
+	AddScaledOuterPacked(make([]float64, 5), make([]float64, 3), 1)
+}
+
+// TestAddScaledOuterPackedFactorizes closes the loop with the consumer: a
+// packed identity plus a few rank-1 terms must stay positive definite and
+// reconstruct through the Cholesky factor.
+func TestAddScaledOuterPackedFactorizes(t *testing.T) {
+	const n = 6
+	rng := rand.New(rand.NewSource(12))
+	packed := make([]float64, PackedLen(n))
+	for i := 0; i < n; i++ {
+		packed[PackedLen(i)+i] = 1
+	}
+	dense := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		dense.Set(i, i, 1)
+	}
+	for r := 0; r < 4; r++ {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		c := 0.1 + rng.Float64()
+		AddScaledOuterPacked(packed, v, c)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dense.Set(i, j, dense.At(i, j)+c*v[i]*v[j])
+			}
+		}
+	}
+	var ch Cholesky
+	if err := ch.FactorizePacked(packed, n, 1e-12, 2); err != nil {
+		t.Fatalf("FactorizePacked: %v", err)
+	}
+	rec := ch.Reconstruct()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if diff := math.Abs(rec.At(i, j) - dense.At(i, j)); diff > 1e-9 {
+				t.Fatalf("entry (%d,%d): reconstructed %g want %g", i, j, rec.At(i, j), dense.At(i, j))
+			}
+		}
+	}
+}

@@ -15,6 +15,11 @@ import "math"
 // and tests).
 func Enabled() bool { return useAsm }
 
+// Enabled512 reports whether the AVX-512 kernel variants are in use. AVX-512
+// implies Enabled(); on hardware without AVX-512 the AVX2 kernels serve the
+// same calls.
+func Enabled512() bool { return useAVX512 }
+
 // DotUnroll is a four-accumulator scalar dot product. Splitting the sum
 // across independent accumulators breaks the add-latency chain so the CPU
 // keeps several multiply-adds in flight even without SIMD.
@@ -69,5 +74,77 @@ func Matern52FromR2(v []float64, vr float64) {
 	for ; i < len(v); i++ {
 		s := sqrt5 * math.Sqrt(v[i])
 		v[i] = vr * (1 + s + fiveThd*v[i]) * math.Exp(-s)
+	}
+}
+
+// Matern52ARD fuses the two passes of the ARD Gram fill — per-dimension
+// distance accumulation and the Matérn-5/2 transform — into one kernel:
+//
+//	dst[p] = vr · (1 + s + 5/3·r²) · e^{−s},
+//	r²     = Σ_k sqd[p·d+k] · inv2[k],   s = √5·√r²,   d = len(inv2)
+//
+// where sqd is the pair-major squared-difference tensor and inv2 the
+// per-dimension 1/ℓ². The paper's 8-knob tuning space gets dedicated asm
+// fast paths (AVX-512 when the hardware has it, else AVX2+FMA); other
+// dimensions and non-amd64 builds take the portable loop. Like the rest of
+// the package, asm and portable results agree to within a few ulps, not
+// bit-for-bit.
+func Matern52ARD(dst, sqd, inv2 []float64, vr float64) {
+	d := len(inv2)
+	n := len(dst)
+	if len(sqd) < n*d {
+		panic("simd: Matern52ARD sqd shorter than len(dst)*len(inv2)")
+	}
+	i := 0
+	if d == 8 {
+		if useAVX512 && n >= 8 {
+			e := n &^ 7
+			matern52ARD8x512(&dst[0], &sqd[0], &inv2[0], e, vr)
+			i = e
+		} else if useAsm && n >= 4 {
+			q := n &^ 3
+			matern52ARD8Asm(&dst[0], &sqd[0], &inv2[0], q, vr)
+			i = q
+		}
+		// Scalar tail (and the full portable path off amd64), unrolled with
+		// named locals so the compiler drops the bounds checks.
+		c0, c1, c2, c3 := inv2[0], inv2[1], inv2[2], inv2[3]
+		c4, c5, c6, c7 := inv2[4], inv2[5], inv2[6], inv2[7]
+		for ; i < n; i++ {
+			row := sqd[i*8 : i*8+8 : i*8+8]
+			r2 := row[0]*c0 + row[1]*c1 + row[2]*c2 + row[3]*c3 +
+				row[4]*c4 + row[5]*c5 + row[6]*c6 + row[7]*c7
+			s := sqrt5 * math.Sqrt(r2)
+			dst[i] = vr * (1 + s + fiveThd*r2) * math.Exp(-s)
+		}
+		return
+	}
+	for ; i < n; i++ {
+		row := sqd[i*d : i*d+d : i*d+d]
+		var r2 float64
+		for k := 0; k < d; k++ {
+			r2 += row[k] * inv2[k]
+		}
+		s := sqrt5 * math.Sqrt(r2)
+		dst[i] = vr * (1 + s + fiveThd*r2) * math.Exp(-s)
+	}
+}
+
+// Axpy accumulates dst[i] += a·x[i] over len(dst) elements. It is the
+// building block of the sparse-GP rank-1 updates (packed outer-product
+// accumulation), so on amd64 it runs as an AVX2+FMA loop.
+func Axpy(dst, x []float64, a float64) {
+	n := len(dst)
+	if len(x) < n {
+		panic("simd: Axpy x shorter than dst")
+	}
+	i := 0
+	if useAsm && n >= 4 {
+		q := n &^ 3
+		axpyAsm(&dst[0], &x[0], q, a)
+		i = q
+	}
+	for ; i < n; i++ {
+		dst[i] += a * x[i]
 	}
 }

@@ -171,6 +171,19 @@ func NewTuner(pool [][]float64, e Evaluator, opt TunerOptions) (*Tuner, error) {
 // Gamma dissimilarity parameters (a, b).
 var TransferFactor = gp.TransferFactor
 
+// GPSpec selects the surrogate implementation behind the tuner: the zero
+// value is the exact O(n³) transfer GP; Sparse selects the O(n·m²)
+// inducing-point approximation. Set TunerOptions.GP (or HarnessRunOpts.GP)
+// to switch; see DESIGN.md, "Sparse GP approximation".
+type GPSpec = gp.Spec
+
+// DefaultSparseM is the inducing budget used by the "sparse" spec shorthand.
+const DefaultSparseM = gp.DefaultSparseM
+
+// ParseGPSpec parses the -gp command-line syntax: "exact", "sparse" or
+// "sparse:<m>".
+var ParseGPSpec = gp.ParseSpec
+
 // ---- Fault-tolerant evaluation ----
 //
 // Real PD tools fail: licences drop, runs hang, adapters crash, QoR reports
