@@ -31,11 +31,15 @@ import (
 	"strings"
 
 	"ppatuner/internal/analysis"
+	"ppatuner/internal/analysis/goroutineleak"
 	"ppatuner/internal/analysis/load"
+	"ppatuner/internal/analysis/lockio"
 	"ppatuner/internal/analysis/maporder"
 	"ppatuner/internal/analysis/mustcheck"
+	"ppatuner/internal/analysis/noalloc"
 	"ppatuner/internal/analysis/nodeterminism"
 	"ppatuner/internal/analysis/parclosure"
+	"ppatuner/internal/analysis/wirecompat"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -43,6 +47,10 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	mustcheck.Analyzer,
 	parclosure.Analyzer,
+	goroutineleak.Analyzer,
+	lockio.Analyzer,
+	wirecompat.Analyzer,
+	noalloc.Analyzer,
 }
 
 func main() {
@@ -51,18 +59,26 @@ func main() {
 
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
 	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
-	_ = flag.Bool("json", false, "accepted for go vet compatibility (ignored)")
+	jsonOut := flag.Bool("json", false, "standalone mode: write diagnostics (including suppressed ones) as a JSON array on stdout")
 	_ = flag.Int("c", -1, "accepted for go vet compatibility (ignored)")
 	noTests := flag.Bool("notests", false, "standalone mode: skip _test.go files and external test packages")
+	audit := flag.Bool("audit", false, "list every //ppalint:allow suppression; fail if one lacks a reason or names an unknown analyzer")
+	updateWirelock := flag.Bool("update-wirelock", false, "regenerate the wirecompat schema lock file at the module root and exit")
 	flag.Parse()
 
 	if *printflags {
 		printFlags()
 		return
 	}
+	if *updateWirelock {
+		os.Exit(runUpdateWirelock())
+	}
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// go vet unit mode. The go command may also pass -json here; unit
+		// diagnostics stay in the plain vet format regardless, which the go
+		// command accepts from a vettool.
 		os.Exit(runUnit(args[0]))
 	}
 	if len(args) > 0 && args[0] == "help" {
@@ -72,18 +88,26 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(runStandalone(args, !*noTests))
+	if *audit {
+		os.Exit(runAudit(args, !*noTests))
+	}
+	os.Exit(runStandalone(args, !*noTests, *jsonOut))
 }
 
 func help() {
-	fmt.Println("ppalint enforces the determinism and numerical-safety invariants of this repo.")
+	fmt.Println("ppalint enforces the determinism, concurrency, and wire-safety invariants of this repo.")
 	fmt.Println("Usage: ppalint [./pattern...]   or   go vet -vettool=$(command -v ppalint) ./...")
+	fmt.Println("\nFlags (standalone mode):")
+	fmt.Println("  -json              emit diagnostics as a JSON array, suppressed ones included")
+	fmt.Println("  -audit             list every //ppalint:allow suppression with analyzer and reason")
+	fmt.Println("  -update-wirelock   regenerate <module root>/wire.lock from the wire-root packages")
+	fmt.Println("  -notests           skip _test.go files and external test packages")
 	for _, a := range analyzers {
 		fmt.Printf("\n%s:\n%s\n", a.Name, a.Doc)
 	}
 	fmt.Println("\nSuppressions: //ppalint:allow <analyzer> <justification> on the flagged line")
 	fmt.Println("or the line above. The justification is mandatory; unjustified directives")
-	fmt.Println("are themselves reported.")
+	fmt.Println("are themselves reported, and -audit inventories every allow in the tree.")
 }
 
 // ---- go vet -vettool protocol --------------------------------------------
@@ -211,10 +235,15 @@ func runUnit(cfgFile string) int {
 	if code := writeVetx(cfg); code != 0 {
 		return code
 	}
+	active := 0
 	for _, d := range diags {
+		if d.suppressed {
+			continue
+		}
+		active++
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.pos, d.analyzer, d.message)
 	}
-	if len(diags) > 0 {
+	if active > 0 {
 		return 1
 	}
 	return 0
@@ -233,15 +262,57 @@ func writeVetx(cfg *unitConfig) int {
 	return 0
 }
 
+// runUpdateWirelock regenerates the wirecompat schema lock: every wire-root
+// package is loaded from source, its reachable JSON surface extracted, and
+// the deterministic lock text written to <module root>/wire.lock. CI diffs
+// the committed file, so schema changes are always a reviewed diff.
+func runUpdateWirelock() int {
+	root, modulePath, goVersion, err := findModule()
+	if err != nil {
+		log.Fatal(err)
+	}
+	loader := &load.Loader{
+		GoVersion: goVersion,
+		Resolve: func(importPath string) (string, bool) {
+			if importPath == modulePath {
+				return root, true
+			}
+			if rest, ok := strings.CutPrefix(importPath, modulePath+"/"); ok {
+				return filepath.Join(root, filepath.FromSlash(rest)), true
+			}
+			return "", false
+		},
+	}
+	sections := map[string]wirecompat.Schema{}
+	for pkgPath, rootNames := range wirecompat.DefaultRoots {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			log.Fatalf("loading wire root %s: %v", pkgPath, err)
+		}
+		schema, err := wirecompat.Extract(pkg.Pkg, rootNames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sections[pkgPath] = schema
+	}
+	lockPath := filepath.Join(root, wirecompat.LockFileName)
+	if err := os.WriteFile(lockPath, []byte(wirecompat.FormatLock(sections)), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", lockPath)
+	return 0
+}
+
 // ---- standalone mode ------------------------------------------------------
 
 type diag struct {
-	pos      token.Position
-	analyzer string
-	message  string
+	pos        token.Position
+	analyzer   string
+	message    string
+	suppressed bool
 }
 
-func runStandalone(patterns []string, includeTests bool) int {
+func runStandalone(patterns []string, includeTests, jsonOut bool) int {
 	root, modulePath, goVersion, err := findModule()
 	if err != nil {
 		log.Fatal(err)
@@ -308,30 +379,209 @@ func runStandalone(patterns []string, includeTests bool) int {
 		}
 		return a.message < b.message
 	})
-	cwd, _ := os.Getwd()
+	active := 0
 	for _, d := range all {
-		name := d.pos.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+		if !d.suppressed {
+			active++
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.pos.Line, d.pos.Column, d.analyzer, d.message)
+	}
+	if jsonOut {
+		writeJSON(all)
+	} else {
+		cwd, _ := os.Getwd()
+		for _, d := range all {
+			if d.suppressed {
+				continue
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", relToCwd(cwd, d.pos.Filename), d.pos.Line, d.pos.Column, d.analyzer, d.message)
+		}
 	}
 	if failed {
 		return 2
 	}
-	if len(all) > 0 {
+	if active > 0 {
 		return 1
 	}
 	return 0
 }
 
-// analyze runs every analyzer over one package, applies the
-// //ppalint:allow suppression filter, and reports malformed directives.
+// relToCwd shortens an absolute diagnostic path when it sits under the
+// working directory; CI problem matchers and humans both prefer that form.
+func relToCwd(cwd, name string) string {
+	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
+// writeJSON emits the structured diagnostic report consumed by the CI
+// artifact step: one object per diagnostic, suppressed findings included
+// with suppressed=true so waived debt stays visible in dashboards.
+func writeJSON(all []diag) {
+	type jsonDiag struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Analyzer   string `json:"analyzer"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	cwd, _ := os.Getwd()
+	out := make([]jsonDiag, 0, len(all))
+	for _, d := range all {
+		out = append(out, jsonDiag{
+			File:       filepath.ToSlash(relToCwd(cwd, d.pos.Filename)),
+			Line:       d.pos.Line,
+			Col:        d.pos.Column,
+			Analyzer:   d.analyzer,
+			Message:    d.message,
+			Suppressed: d.suppressed,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// ---- suppression audit ----------------------------------------------------
+
+// auditEntry is one //ppalint:allow directive found in shipped or test code
+// (fixture trees under testdata are never loaded, so they don't count).
+type auditEntry struct {
+	pos       token.Position
+	analyzer  string
+	reason    string
+	justified bool
+}
+
+// collectSuppressions loads every package matching the patterns and returns
+// all allow directives in deterministic file/line order. Shared by -audit
+// and the pin-count test, so both always see the same inventory.
+func collectSuppressions(patterns []string, includeTests bool) ([]auditEntry, error) {
+	root, modulePath, goVersion, err := findModule()
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	loader := &load.Loader{
+		GoVersion:    goVersion,
+		IncludeTests: includeTests,
+		Resolve: func(importPath string) (string, bool) {
+			if importPath == modulePath {
+				return root, true
+			}
+			if rest, ok := strings.CutPrefix(importPath, modulePath+"/"); ok {
+				return filepath.Join(root, filepath.FromSlash(rest)), true
+			}
+			return "", false
+		},
+	}
+	var out []auditEntry
+	record := func(pkg *load.Package) {
+		for _, s := range analysis.Suppressions(pkg.Fset, pkg.Files) {
+			out = append(out, auditEntry{
+				pos:       pkg.Fset.Position(s.Pos),
+				analyzer:  s.Analyzer,
+				reason:    s.Reason,
+				justified: s.Justified,
+			})
+		}
+	}
+	for _, rel := range dirs {
+		ip := modulePath
+		if rel != "." {
+			ip = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.Load(ip)
+		if err != nil {
+			if strings.Contains(err.Error(), "no buildable Go source files") ||
+				strings.Contains(err.Error(), "no Go files") {
+				continue
+			}
+			return nil, err
+		}
+		record(pkg)
+		if includeTests {
+			xt, err := loader.LoadXTest(ip)
+			if err != nil {
+				return nil, err
+			}
+			if xt != nil {
+				record(xt)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		return a.pos.Line < b.pos.Line
+	})
+	return out, nil
+}
+
+// auditProblem explains why a suppression fails the audit, or returns "".
+func auditProblem(e auditEntry, known map[string]bool) string {
+	switch {
+	case e.analyzer == "":
+		return "missing analyzer name"
+	case !known[e.analyzer]:
+		return fmt.Sprintf("unknown analyzer %q", e.analyzer)
+	case !e.justified:
+		return "missing reason"
+	}
+	return ""
+}
+
+// runAudit prints the full suppression inventory and fails if any directive
+// lacks a reason or names an analyzer this binary doesn't ship: a waiver
+// nobody can attribute or re-evaluate is lint debt, not a decision.
+func runAudit(patterns []string, includeTests bool) int {
+	entries, err := collectSuppressions(patterns, includeTests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	cwd, _ := os.Getwd()
+	bad := 0
+	for _, e := range entries {
+		loc := fmt.Sprintf("%s:%d", relToCwd(cwd, e.pos.Filename), e.pos.Line)
+		if problem := auditProblem(e, known); problem != "" {
+			bad++
+			fmt.Printf("%s: INVALID (%s): //ppalint:allow %s %s\n", loc, problem, e.analyzer, e.reason)
+			continue
+		}
+		fmt.Printf("%s: %s: %s\n", loc, e.analyzer, e.reason)
+	}
+	fmt.Printf("%d suppression(s), %d invalid\n", len(entries), bad)
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// analyze runs every analyzer over one package, splits the results with the
+// //ppalint:allow filter (suppressed findings are kept, flagged, for the JSON
+// report), and reports malformed directives.
 func analyze(pkg *load.Package) []diag {
 	var out []diag
-	add := func(name string, ds []analysis.Diagnostic) {
+	add := func(name string, suppressed bool, ds []analysis.Diagnostic) {
 		for _, d := range ds {
-			out = append(out, diag{pos: pkg.Fset.Position(d.Pos), analyzer: name, message: d.Message})
+			out = append(out, diag{
+				pos:        pkg.Fset.Position(d.Pos),
+				analyzer:   name,
+				message:    d.Message,
+				suppressed: suppressed,
+			})
 		}
 	}
 	for _, a := range analyzers {
@@ -345,12 +595,14 @@ func analyze(pkg *load.Package) []diag {
 		var ds []analysis.Diagnostic
 		pass.Report = func(d analysis.Diagnostic) { ds = append(ds, d) }
 		if _, err := a.Run(pass); err != nil {
-			add(a.Name, []analysis.Diagnostic{{Pos: pkg.Files[0].Pos(), Message: err.Error()}})
+			add(a.Name, false, []analysis.Diagnostic{{Pos: pkg.Files[0].Pos(), Message: err.Error()}})
 			continue
 		}
-		add(a.Name, analysis.Filter(pkg.Fset, pkg.Files, a.Name, ds))
+		kept, waived := analysis.Partition(pkg.Fset, pkg.Files, a.Name, ds)
+		add(a.Name, false, kept)
+		add(a.Name, true, waived)
 	}
-	add("ppalint", analysis.DirectiveDiagnostics(pkg.Fset, pkg.Files))
+	add("ppalint", false, analysis.DirectiveDiagnostics(pkg.Fset, pkg.Files))
 	return out
 }
 

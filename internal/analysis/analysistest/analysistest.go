@@ -75,6 +75,9 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		if _, err := a.Run(pass); err != nil {
 			t.Fatalf("%s on %s: %v", a.Name, pkgPath, err)
 		}
+		// Apply the driver's //ppalint:allow filter, so fixtures can assert
+		// that a justified suppression silences a diagnostic.
+		diags = analysis.Filter(pkg.Fset, pkg.Files, a.Name, diags)
 		check(t, pkg, a.Name, diags)
 	}
 }

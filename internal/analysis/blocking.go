@@ -1,0 +1,459 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Blocking-operation classification shared by the concurrency analyzers
+// (goroutineleak, lockio). The universe of "blocking" is deliberately a
+// curated list — the operations that actually wedge this codebase's
+// event loops and goroutines — rather than a whole-program may-block
+// analysis: channel operations, selects without a default, the wire
+// protocol's Conn.Send/Recv, net and os/exec waits, stream JSON
+// encode/decode, WaitGroup.Wait, and sleeps (time.Sleep and the injected
+// clock.Clock's Sleep). Calls of unknown function values are assumed to
+// terminate; the callee's own body is covered when it is an intra-package
+// function (the call graph descends into it) or one of the listed foreign
+// APIs.
+//
+// Each operation carries the structural evidence that can discharge it:
+// whether it is bounded outright, released by context cancellation, a send
+// into a channel known to be buffered, a receive released by a close()
+// visible in the package, a call on a value whose Close the package invokes,
+// or a select with a default clause. The analyzers differ only in which
+// evidence they accept — a goroutine may sleep forever on a context, a
+// mutex holder may not sleep at all — so the classifier records facts and
+// leaves policy to them.
+
+// BlockKind discriminates the shape of a blocking operation.
+type BlockKind int
+
+const (
+	// BlockCall is a call of a listed blocking function or method.
+	BlockCall BlockKind = iota
+	// BlockSend is a channel send outside a select.
+	BlockSend
+	// BlockRecv is a channel receive outside a select.
+	BlockRecv
+	// BlockRange is a for-range over a channel.
+	BlockRange
+	// BlockSelect is a select statement (judged as a whole).
+	BlockSelect
+)
+
+// A BlockingOp is one potentially blocking operation with the structural
+// waivers that apply to it.
+type BlockingOp struct {
+	Pos  token.Pos
+	Kind BlockKind
+	// What names the operation for diagnostics, e.g. "shard.Conn.Recv",
+	// "time.Sleep", `send on channel "events"`.
+	What string
+	// Bounded marks operations that return after a bounded wall-clock wait
+	// regardless of what other goroutines do (time.Sleep).
+	Bounded bool
+	// CtxBounded marks operations released by context cancellation: a call
+	// passing a context.Context, or a select with a case receiving from a
+	// context's Done channel.
+	CtxBounded bool
+	// BufferedLocal marks channel sends whose channel is visibly built with
+	// make(chan T, n>0) in this package, so the send cannot block past the
+	// buffer the spawner sized for it.
+	BufferedLocal bool
+	// CloseSignalled marks receives, ranges and selects released by a
+	// close() of the channel somewhere in this package.
+	CloseSignalled bool
+	// CloseReleased marks calls on a receiver whose Close method this
+	// package invokes (or references) — closing the value unblocks the
+	// pending call, the pattern Conn readers and accept loops rely on.
+	CloseReleased bool
+	// HasDefault marks selects with a default clause: non-blocking.
+	HasDefault bool
+}
+
+// PkgFacts holds the package-wide channel and closer facts the classifier
+// consults: which channel objects are visibly buffered, which are closed
+// somewhere in the package, and which receiver types have their Close
+// invoked. Facts key on types.Object, so a channel stored in a struct field
+// is tracked across methods through the shared field object.
+type PkgFacts struct {
+	buffered      map[types.Object]bool
+	closed        map[types.Object]bool
+	closeReleased map[string]bool
+}
+
+// GatherPkgFacts scans the package once for channel makes, closes, and
+// Close-method references.
+func GatherPkgFacts(pass *Pass) *PkgFacts {
+	f := &PkgFacts{
+		buffered:      map[types.Object]bool{},
+		closed:        map[types.Object]bool{},
+		closeReleased: map[string]bool{},
+	}
+	mark := func(m map[types.Object]bool, e ast.Expr) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := objectOf(pass.TypesInfo, x); obj != nil {
+				m[obj] = true
+			}
+		case *ast.SelectorExpr:
+			if obj := pass.TypesInfo.Uses[x.Sel]; obj != nil {
+				m[obj] = true
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		// Facts come from non-test code only: a Close or make in a test file
+		// must not waive a blocking op in the shipped code, and results must
+		// not depend on whether the loader included tests.
+		if InTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok {
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(st.Args) == 1 {
+						mark(f.closed, st.Args[0])
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range st.Rhs {
+					if i < len(st.Lhs) && isBufferedMake(pass.TypesInfo, rhs) {
+						mark(f.buffered, st.Lhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, rhs := range st.Values {
+					if i < len(st.Names) && isBufferedMake(pass.TypesInfo, rhs) {
+						mark(f.buffered, st.Names[i])
+					}
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := pass.TypesInfo.Uses[st.Sel].(*types.Func); ok && fn.Name() == "Close" {
+					if key := recvTypeKey(fn); key != "" {
+						f.closeReleased[key] = true
+					}
+				}
+			}
+			return true
+		})
+		// Second pass per file: composite literals that store an
+		// already-buffered channel into a struct field propagate the fact to
+		// the field object, so methods sending on the field see it.
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if vid, ok := ast.Unparen(kv.Value).(*ast.Ident); ok {
+					vobj := objectOf(pass.TypesInfo, vid)
+					fobj := pass.TypesInfo.Defs[key]
+					if fobj == nil {
+						fobj = pass.TypesInfo.Uses[key]
+					}
+					if vobj != nil && fobj != nil {
+						if f.buffered[vobj] {
+							f.buffered[fobj] = true
+						}
+						if f.closed[vobj] {
+							f.closed[fobj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return f
+}
+
+// chanObj resolves the object behind a channel expression: a named local or
+// package variable, or a struct field (by field object, shared across
+// instances). Nil when the expression is more involved.
+func chanObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return objectOf(info, x)
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	case *ast.CallExpr:
+		// ctx.Done() and friends: key on the method object.
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			return info.Uses[sel.Sel]
+		}
+	}
+	return nil
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// isBufferedMake reports whether e is make(chan T, n) with a capacity
+// argument (a zero constant capacity is unbuffered and does not count).
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	if t := info.TypeOf(call.Args[0]); t != nil {
+		if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return false
+		}
+	}
+	if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+		if v, exact := constantInt(tv); exact && v == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func constantInt(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	if s := tv.Value.ExactString(); s != "" {
+		var v int64
+		if _, err := fmt.Sscanf(s, "%d", &v); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// recvTypeKey returns a stable key for a method's receiver type (pointers
+// stripped), or "" for plain functions.
+func recvTypeKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.TypeString(t, nil)
+}
+
+// isContextDoneRecv reports whether e is a receive-shaped expression on
+// <ctx>.Done() for a context.Context.
+func isContextDoneRecv(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// HasContextArg reports whether any argument of call has static type
+// context.Context.
+func HasContextArg(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		t := info.TypeOf(arg)
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// execBlocking lists the os/exec methods that wait on a child process;
+// constructors and pipe plumbing are quick.
+var execBlocking = map[string]bool{
+	"Run": true, "Wait": true, "Output": true, "CombinedOutput": true,
+}
+
+// classifyBlockingCall reports whether call is one of the listed blocking
+// calls and, if so, its classified op.
+func classifyBlockingCall(info *types.Info, facts *PkgFacts, call *ast.CallExpr) *BlockingOp {
+	fn := StaticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	op := &BlockingOp{Pos: call.Pos(), Kind: BlockCall, CtxBounded: HasContextArg(info, call)}
+	name := fn.Name()
+	recvKey := recvTypeKey(fn)
+	switch fn.Pkg().Path() {
+	case "time":
+		if recvKey == "" && name == "Sleep" {
+			op.What, op.Bounded = "time.Sleep", true
+			return op
+		}
+	case "ppatuner/internal/clock":
+		if name == "Sleep" {
+			op.What = "clock.Clock.Sleep"
+			return op
+		}
+	case "ppatuner/internal/shard":
+		if recvKey != "" && (name == "Send" || name == "Recv") {
+			op.What = "shard.Conn." + name
+			op.CloseReleased = facts != nil && facts.closeReleased[recvKey]
+			return op
+		}
+	case "encoding/json":
+		if (recvKey == "encoding/json.Encoder" && name == "Encode") ||
+			(recvKey == "encoding/json.Decoder" && name == "Decode") {
+			op.What = "json stream " + name
+			return op
+		}
+	case "sync":
+		if name == "Wait" && recvKey == "sync.WaitGroup" {
+			op.What = "sync.WaitGroup.Wait"
+			return op
+		}
+	case "net":
+		op.What = "net: " + name
+		op.CloseReleased = recvKey != "" && facts != nil && facts.closeReleased[recvKey]
+		return op
+	case "os/exec":
+		if execBlocking[name] {
+			op.What = "os/exec: " + name
+			return op
+		}
+	}
+	return nil
+}
+
+// ScanBlockingOps collects the blocking operations lexically inside root,
+// classified against the package facts. Nested go-statement bodies are
+// skipped (each go statement is judged at its own spawn site) and so are
+// nested func literals that are not immediately executed (they block only
+// whoever eventually calls them).
+func ScanBlockingOps(pass *Pass, facts *PkgFacts, root ast.Node) []BlockingOp {
+	var out []BlockingOp
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch st := m.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.FuncLit:
+				if st != n {
+					return false
+				}
+			case *ast.SelectStmt:
+				op := BlockingOp{Pos: st.Pos(), Kind: BlockSelect, What: "select"}
+				for _, cl := range st.Body.List {
+					comm, ok := cl.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if comm.Comm == nil {
+						op.HasDefault = true
+						continue
+					}
+					for _, recvExpr := range commRecvExprs(comm.Comm) {
+						if isContextDoneRecv(pass.TypesInfo, recvExpr) {
+							op.CtxBounded = true
+						}
+						if obj := chanObj(pass.TypesInfo, recvExpr); obj != nil && facts != nil && facts.closed[obj] {
+							op.CloseSignalled = true
+						}
+					}
+				}
+				out = append(out, op)
+				for _, cl := range st.Body.List {
+					if comm, ok := cl.(*ast.CommClause); ok {
+						for _, b := range comm.Body {
+							walk(b)
+						}
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				op := BlockingOp{Pos: st.Pos(), Kind: BlockSend, What: fmt.Sprintf("send on channel %q", Render(st.Chan))}
+				if obj := chanObj(pass.TypesInfo, st.Chan); obj != nil && facts != nil && facts.buffered[obj] {
+					op.BufferedLocal = true
+				}
+				out = append(out, op)
+			case *ast.UnaryExpr:
+				if st.Op == token.ARROW {
+					op := BlockingOp{Pos: st.Pos(), Kind: BlockRecv, What: fmt.Sprintf("receive on channel %q", Render(st.X))}
+					if isContextDoneRecv(pass.TypesInfo, st.X) {
+						op.CtxBounded = true
+					}
+					if obj := chanObj(pass.TypesInfo, st.X); obj != nil && facts != nil {
+						op.CloseSignalled = facts.closed[obj]
+						// A buffered receive still parks when the buffer is
+						// empty — this does not waive goroutineleak — but it
+						// is outside lockio's "unbuffered channel op" scope.
+						op.BufferedLocal = facts.buffered[obj]
+					}
+					out = append(out, op)
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(st.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						op := BlockingOp{Pos: st.Pos(), Kind: BlockRange, What: fmt.Sprintf("range over channel %q", Render(st.X))}
+						if obj := chanObj(pass.TypesInfo, st.X); obj != nil && facts != nil && facts.closed[obj] {
+							op.CloseSignalled = true
+						}
+						out = append(out, op)
+					}
+				}
+			case *ast.CallExpr:
+				if op := classifyBlockingCall(pass.TypesInfo, facts, st); op != nil {
+					out = append(out, *op)
+				}
+			}
+			return true
+		})
+	}
+	walk(root)
+	return out
+}
+
+// commRecvExprs extracts the channel-receive expressions of one select comm
+// statement (assignment or bare receive). Send comms return nothing: only a
+// ready receive can release the select via close or context machinery.
+func commRecvExprs(comm ast.Stmt) []ast.Expr {
+	var exprs []ast.Expr
+	collect := func(e ast.Expr) {
+		if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			exprs = append(exprs, u.X)
+		}
+	}
+	switch st := comm.(type) {
+	case *ast.ExprStmt:
+		collect(st.X)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			collect(rhs)
+		}
+	}
+	return exprs
+}

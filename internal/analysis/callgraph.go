@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The call-graph layer upgrades the framework from purely local AST checks
+// to summary-based analyses: each declared function gets a FuncInfo summary,
+// the static intra-package calls between them form a CallGraph, and facts
+// propagate over that graph to a fixpoint. The concurrency analyzers
+// (goroutineleak, lockio) and the allocation checker (noalloc) use it to see
+// through helper functions — a goroutine body that calls a package-local
+// helper is judged by what the helper (transitively) does, not only by the
+// statements spelled out at the go site.
+//
+// Scope and determinism: the graph is intra-package only (cross-package
+// behaviour is encoded in the blocking-op and allocation classifiers, which
+// recognise the relevant foreign APIs by path), edges are static calls
+// resolved through go/types (method values, interface dispatch and function
+// values are not edges), and every traversal iterates functions in source
+// order, so analyzer output is deterministic for a given file set.
+
+// A FuncInfo is the per-function summary node of the intra-package call
+// graph.
+type FuncInfo struct {
+	// Obj is the function's types object (never nil).
+	Obj *types.Func
+	// Decl is the declaration carrying the body; nil for functions declared
+	// in other files of a package loaded without them (does not happen under
+	// the ppalint loaders) or bodyless declarations (assembly stubs).
+	Decl *ast.FuncDecl
+	// Calls lists the intra-package functions this one statically calls, in
+	// source order of the call sites, deduplicated.
+	Calls []*types.Func
+}
+
+// A CallGraph holds every declared function of one package and the static
+// call edges between them.
+type CallGraph struct {
+	byObj map[*types.Func]*FuncInfo
+	// order lists the functions in source-position order — the deterministic
+	// iteration sequence for fixpoint sweeps.
+	order []*types.Func
+}
+
+// BuildCallGraph summarises every function and method declared in the pass's
+// files, including _test.go files when the loader included them (callers
+// filter by position where the contract excludes tests).
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{byObj: map[*types.Func]*FuncInfo{}}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &FuncInfo{Obj: obj, Decl: fd}
+			if fd.Body != nil {
+				fi.Calls = intraPackageCalls(pass, fd.Body)
+			}
+			g.byObj[obj] = fi
+			g.order = append(g.order, obj)
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool { return g.order[i].Pos() < g.order[j].Pos() })
+	return g
+}
+
+// Lookup returns the summary for fn, or nil when fn is not declared in this
+// package (or is not a static function object).
+func (g *CallGraph) Lookup(fn *types.Func) *FuncInfo { return g.byObj[fn] }
+
+// Funcs returns every summarised function in source order.
+func (g *CallGraph) Funcs() []*FuncInfo {
+	out := make([]*FuncInfo, 0, len(g.order))
+	for _, obj := range g.order {
+		out = append(out, g.byObj[obj])
+	}
+	return out
+}
+
+// Propagate computes the least fixpoint of a boolean fact over the call
+// graph: fact(f) holds iff seed(f) reports true or fact holds for any
+// intra-package function f statically calls. This is the "may reach" scheme
+// every summary analyzer shares — seed marks the functions that directly
+// exhibit a behaviour, and propagation extends it to everything that can
+// reach them, so a check at a call site sees through arbitrarily deep
+// helper chains. Iteration runs over source order until no sweep changes
+// anything, so the result is schedule-independent.
+func (g *CallGraph) Propagate(seed func(*FuncInfo) bool) map[*types.Func]bool {
+	fact := make(map[*types.Func]bool, len(g.order))
+	for _, obj := range g.order {
+		if seed(g.byObj[obj]) {
+			fact[obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range g.order {
+			if fact[obj] {
+				continue
+			}
+			for _, callee := range g.byObj[obj].Calls {
+				if fact[callee] {
+					fact[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return fact
+}
+
+// CalleesIn lists the static intra-package callees of an arbitrary body —
+// the per-site variant of the edges BuildCallGraph records per declaration.
+// goroutineleak uses it to seed the transitive check from a go statement's
+// func-literal body.
+func CalleesIn(pass *Pass, body ast.Node) []*types.Func {
+	return intraPackageCalls(pass, body)
+}
+
+// intraPackageCalls collects the static intra-package callees of body in
+// source order, deduplicated. Calls through function values, method values
+// and interfaces are not edges: the blocking/allocation classifiers handle
+// the foreign and dynamic cases by signature instead. Nested go-statement
+// subtrees are excluded — work spawned onto another goroutine is judged at
+// its own spawn site, not attributed to the enclosing function.
+func intraPackageCalls(pass *Pass, body ast.Node) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := StaticCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg() != pass.Pkg {
+			return true
+		}
+		if !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// StaticCallee resolves the *types.Func a call statically invokes: a plain
+// function, a method called on a concrete receiver, or an interface method
+// (the interface's method object). Calls of function-typed values and
+// builtins return nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

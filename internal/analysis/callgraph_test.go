@@ -1,0 +1,124 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"ppatuner/internal/analysis"
+)
+
+// typecheck parses and type-checks one synthetic file and wraps it in a
+// Pass, the minimal harness the framework helpers need.
+func typecheck(t *testing.T, src string) *analysis.Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Pass{Fset: fset, Files: []*ast.File{file}, Pkg: pkg, TypesInfo: info}
+}
+
+func TestCallGraphPropagate(t *testing.T) {
+	pass := typecheck(t, `package p
+
+func a() { b() }
+func b() { c(); c() }
+func c() {}
+func d() { a() }
+func isolated() {}
+`)
+	g := analysis.BuildCallGraph(pass)
+
+	var names []string
+	for _, fi := range g.Funcs() {
+		names = append(names, fi.Obj.Name())
+	}
+	want := []string{"a", "b", "c", "d", "isolated"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("source order: got %v, want %v", names, want)
+		}
+	}
+
+	// b calls c twice but the edge is deduplicated.
+	if calls := g.Funcs()[1].Calls; len(calls) != 1 || calls[0].Name() != "c" {
+		t.Fatalf("b edges: got %v", calls)
+	}
+
+	// Seed the fact at c; it must propagate to everything that reaches c
+	// (a, b, d through a) and nowhere else.
+	fact := g.Propagate(func(fi *analysis.FuncInfo) bool { return fi.Obj.Name() == "c" })
+	for _, fi := range g.Funcs() {
+		got := fact[fi.Obj]
+		wantFact := fi.Obj.Name() != "isolated"
+		if got != wantFact {
+			t.Errorf("fact(%s) = %v, want %v", fi.Obj.Name(), got, wantFact)
+		}
+	}
+}
+
+func TestScanBlockingOps(t *testing.T) {
+	pass := typecheck(t, `package p
+
+import "time"
+
+func ops(unbuf chan int) {
+	buffered := make(chan int, 4)
+	done := make(chan struct{})
+	defer close(done)
+
+	buffered <- 1
+	unbuf <- 2
+	<-done
+	select {
+	case <-done:
+	default:
+	}
+	time.Sleep(time.Millisecond)
+	go func() { <-unbuf }()
+}
+`)
+	facts := analysis.GatherPkgFacts(pass)
+	fn := pass.Files[0].Decls[1].(*ast.FuncDecl) // ops
+	ops := analysis.ScanBlockingOps(pass, facts, fn.Body)
+
+	type wantOp struct {
+		kind                                               analysis.BlockKind
+		bufferedLocal, closeSignalled, hasDefault, bounded bool
+	}
+	wants := []wantOp{
+		{kind: analysis.BlockSend, bufferedLocal: true},
+		{kind: analysis.BlockSend},
+		{kind: analysis.BlockRecv, closeSignalled: true},
+		{kind: analysis.BlockSelect, closeSignalled: true, hasDefault: true},
+		{kind: analysis.BlockCall, bounded: true},
+		// The go statement's body is skipped: no op for <-unbuf inside it.
+	}
+	if len(ops) != len(wants) {
+		t.Fatalf("got %d ops, want %d: %+v", len(ops), len(wants), ops)
+	}
+	for i, w := range wants {
+		op := ops[i]
+		if op.Kind != w.kind || op.BufferedLocal != w.bufferedLocal ||
+			op.CloseSignalled != w.closeSignalled || op.HasDefault != w.hasDefault ||
+			op.Bounded != w.bounded {
+			t.Errorf("op %d (%s): got %+v, want %+v", i, op.What, op, w)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package goroutineleak requires a provable join or termination path for
+// every goroutine spawned by the distributed layer.
+//
+// The coordinator event loop, the worker heartbeat, the transport accept
+// loop and the robust attempt runner all spawn goroutines; the resilience
+// contract ("a worker death stretches wall-clock time, never results")
+// assumes each one terminates or is joined. A goroutine parked forever on a
+// channel nobody closes or a Recv nobody unblocks is invisible to the
+// tests — it only shows up as a slow leak under campaign load — so the
+// termination argument is checked statically at every go statement.
+//
+// A go statement passes if either
+//
+//   - it is WaitGroup-joined: the spawned body (or the named function it
+//     runs) defers a sync.WaitGroup Done, and the spawning function calls
+//     Add on a WaitGroup before the go statement; or
+//   - every potentially-forever blocking operation the goroutine can reach
+//     (through intra-package helpers, via the call graph) carries a
+//     termination waiver: bounded by construction (time.Sleep), released by
+//     context cancellation (the call takes a ctx, or a select has a
+//     ctx.Done case), a send into a channel this package visibly buffers, a
+//     receive or select released by a close() in this package, a select
+//     with a default, or a blocking call on a value whose Close this
+//     package invokes.
+//
+// Soundness tradeoffs, accepted and documented: calls of unknown function
+// values are assumed to terminate, a visibly-buffered send is trusted not
+// to outlive its buffer, and a package-wide Close reference waives calls on
+// that type anywhere in the package. The analyzer errs toward silence on
+// idioms the codebase sanctions; the race/shuffle CI job backstops the
+// dynamic side.
+package goroutineleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"ppatuner/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutineleak",
+	Doc: `require a join or termination path for every spawned goroutine
+
+Every go statement in non-test code of the concurrency-covered packages
+(internal/shard, internal/shard/transport, internal/robust, internal/par)
+must be WaitGroup-joined (Add before the go statement, deferred Done in the
+body) or have every reachable blocking operation waived by a termination
+path: context cancellation, a close-signalled channel, a select default, a
+locally buffered send, or a Close the package invokes. Intra-package helper
+calls are followed through the call graph.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.ConcurrencyPolicy(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	graph := analysis.BuildCallGraph(pass)
+	facts := analysis.GatherPkgFacts(pass)
+
+	// Per-function summaries: the blocking ops without a termination waiver.
+	unwaived := map[*types.Func][]analysis.BlockingOp{}
+	for _, fi := range graph.Funcs() {
+		if fi.Decl == nil || fi.Decl.Body == nil {
+			continue
+		}
+		unwaived[fi.Obj] = rejectOps(analysis.ScanBlockingOps(pass, facts, fi.Decl.Body))
+	}
+	mayBlock := graph.Propagate(func(fi *analysis.FuncInfo) bool {
+		return len(unwaived[fi.Obj]) > 0
+	})
+
+	for _, file := range pass.Files {
+		if analysis.InTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		// Collect every function body and every go statement, then resolve
+		// each go statement's innermost enclosing body by position — that is
+		// where the matching WaitGroup.Add must appear.
+		var bodies []*ast.BlockStmt
+		var gos []*ast.GoStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncDecl:
+				if st.Body != nil {
+					bodies = append(bodies, st.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, st.Body)
+			case *ast.GoStmt:
+				gos = append(gos, st)
+			}
+			return true
+		})
+		for _, g := range gos {
+			checkGo(pass, graph, facts, unwaived, mayBlock, g, enclosingBody(bodies, g))
+		}
+	}
+	return nil, nil
+}
+
+// enclosingBody returns the innermost function body containing g.
+func enclosingBody(bodies []*ast.BlockStmt, g *ast.GoStmt) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= g.Pos() && g.End() <= b.End() {
+			if best == nil || b.Pos() > best.Pos() {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// rejectOps keeps the ops with no goroutineleak termination waiver.
+func rejectOps(ops []analysis.BlockingOp) []analysis.BlockingOp {
+	var out []analysis.BlockingOp
+	for _, op := range ops {
+		if !waived(op) {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// waived reports whether one blocking op has a termination path on its own.
+func waived(op analysis.BlockingOp) bool {
+	if op.Bounded || op.CtxBounded || op.HasDefault {
+		return true
+	}
+	switch op.Kind {
+	case analysis.BlockSend:
+		return op.BufferedLocal
+	case analysis.BlockRecv, analysis.BlockRange, analysis.BlockSelect:
+		return op.CloseSignalled
+	case analysis.BlockCall:
+		return op.CloseReleased
+	}
+	return false
+}
+
+func checkGo(pass *analysis.Pass, graph *analysis.CallGraph, facts *analysis.PkgFacts,
+	unwaived map[*types.Func][]analysis.BlockingOp, mayBlock map[*types.Func]bool,
+	g *ast.GoStmt, spawner *ast.BlockStmt) {
+
+	// Resolve the spawned body: a func literal, or the declaration of a
+	// statically-called intra-package function.
+	var body *ast.BlockStmt
+	var callees []*types.Func
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+		callees = analysis.CalleesIn(pass, fun.Body)
+	default:
+		_ = fun
+		if fn := analysis.StaticCallee(pass.TypesInfo, g.Call); fn != nil {
+			if fi := graph.Lookup(fn); fi != nil && fi.Decl != nil && fi.Decl.Body != nil {
+				body = fi.Decl.Body
+				callees = []*types.Func{fn}
+				break
+			}
+			// Foreign or bodyless target: a context argument is the only
+			// termination evidence we can see.
+			if analysis.HasContextArg(pass.TypesInfo, g.Call) {
+				return
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine runs %s, which this analyzer cannot see into and which takes no context; give it a cancellation path or join it with a WaitGroup", fn.FullName())
+			return
+		}
+		// Dynamic function value.
+		if analysis.HasContextArg(pass.TypesInfo, g.Call) {
+			return
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine runs a dynamic function value with no context argument; no provable join or termination path")
+		return
+	}
+
+	// Path 1: WaitGroup join.
+	if hasDeferredDone(pass.TypesInfo, body) && spawner != nil && hasAddBefore(pass.TypesInfo, spawner, g.Pos()) {
+		return
+	}
+
+	// Path 2: every reachable blocking op is waived.
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		for _, op := range rejectOps(analysis.ScanBlockingOps(pass, facts, fl.Body)) {
+			pass.Reportf(op.Pos,
+				"goroutine may block forever on %s; no join or termination path (want WaitGroup join, close-signalled channel, or context cancellation)", op.What)
+		}
+	}
+	for _, callee := range callees {
+		if !mayBlock[callee] {
+			continue
+		}
+		if op := firstUnwaived(graph, unwaived, callee, map[*types.Func]bool{}); op != nil {
+			opPos := pass.Fset.Position(op.Pos)
+			pass.Reportf(g.Pos(),
+				"goroutine calls %s, which may block forever on %s (%s:%d); no join or termination path",
+				callee.Name(), op.What, filepath.Base(opPos.Filename), opPos.Line)
+		} else {
+			pass.Reportf(g.Pos(),
+				"goroutine calls %s, which may block forever; no join or termination path", callee.Name())
+		}
+	}
+}
+
+// firstUnwaived finds, depth-first in source order, the first unwaived
+// blocking op reachable from fn — the concrete evidence quoted in the
+// transitive diagnostic.
+func firstUnwaived(graph *analysis.CallGraph, unwaived map[*types.Func][]analysis.BlockingOp,
+	fn *types.Func, visited map[*types.Func]bool) *analysis.BlockingOp {
+	if visited[fn] {
+		return nil
+	}
+	visited[fn] = true
+	if ops := unwaived[fn]; len(ops) > 0 {
+		return &ops[0]
+	}
+	fi := graph.Lookup(fn)
+	if fi == nil {
+		return nil
+	}
+	for _, callee := range fi.Calls {
+		if op := firstUnwaived(graph, unwaived, callee, visited); op != nil {
+			return op
+		}
+	}
+	return nil
+}
+
+// isWaitGroupCall reports whether call invokes the named sync.WaitGroup
+// method.
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := analysis.StaticCallee(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// hasDeferredDone reports whether body defers a WaitGroup.Done — directly
+// (defer wg.Done()) or inside a deferred func literal.
+func hasDeferredDone(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if isWaitGroupCall(info, st.Call, "Done") {
+				found = true
+				return false
+			}
+			if fl, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && isWaitGroupCall(info, c, "Done") {
+						found = true
+					}
+					return !found
+				})
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasAddBefore reports whether the spawning body calls WaitGroup.Add at a
+// position before the go statement.
+func hasAddBefore(info *types.Info, spawner *ast.BlockStmt, goPos token.Pos) bool {
+	found := false
+	ast.Inspect(spawner, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && c.Pos() < goPos && isWaitGroupCall(info, c, "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

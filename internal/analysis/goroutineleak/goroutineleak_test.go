@@ -1,0 +1,20 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"ppatuner/internal/analysis/analysistest"
+	"ppatuner/internal/analysis/goroutineleak"
+)
+
+// The shard fixture covers the direct shapes (unjoined reader flagged;
+// WaitGroup join, context bound, close signal, buffered send, and a
+// justified suppression all silent), the transport fixture covers the
+// close-released Conn waiver, and the robust fixture covers the transitive
+// helper-chain case plus the buffered attempt idiom.
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), goroutineleak.Analyzer,
+		"ppatuner/internal/shard",
+		"ppatuner/internal/shard/transport",
+		"ppatuner/internal/robust")
+}

@@ -1,0 +1,41 @@
+// Package robust is a fixture for the call-graph side of goroutineleak: a
+// go statement running a named function is judged by what that function
+// (transitively) does.
+package robust
+
+import "context"
+
+type executor struct {
+	idle chan struct{}
+	tool func(context.Context, int) error
+}
+
+// loop looks innocent; the block hides one helper down.
+func (e *executor) loop() {
+	e.park()
+}
+
+// park blocks forever: nothing in this package closes idle.
+func (e *executor) park() {
+	<-e.idle
+}
+
+// spawnLoop must be flagged through the helper chain loop -> park.
+func spawnLoop(e *executor) {
+	go e.loop() // want `calls loop, which may block forever on receive on channel "e\.idle"`
+}
+
+// attempt is the real package's sanctioned shape: the result channel is
+// buffered for exactly one outcome and the tool call carries the context.
+func attempt(ctx context.Context, e *executor, i int) error {
+	ch := make(chan error, 1)
+	go func() {
+		ch <- e.tool(ctx, i)
+	}()
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

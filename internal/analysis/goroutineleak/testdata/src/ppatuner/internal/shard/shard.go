@@ -1,0 +1,109 @@
+// Package shard is a fixture mirroring the real shard package's spawn
+// shapes: the import path puts it under the concurrency policy, and the
+// local Conn interface matches the wire API the blocking classifier
+// recognises by path.
+package shard
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Msg is a stand-in wire message.
+type Msg struct{}
+
+// Conn matches the real shard.Conn surface.
+type Conn interface {
+	Send(Msg) error
+	Recv() (Msg, error)
+	Close() error
+}
+
+// event mirrors the coordinator's event envelope.
+type event struct {
+	msg Msg
+	err error
+}
+
+// leakyReader is the pre-fix coordinator shape: an unjoined reader parked
+// in Recv with nothing in this package ever closing a Conn, feeding an
+// unbuffered channel nobody may drain.
+func leakyReader(c Conn) {
+	events := make(chan event)
+	go func() {
+		for {
+			m, err := c.Recv()                // want `may block forever on shard\.Conn\.Recv`
+			events <- event{msg: m, err: err} // want `may block forever on send`
+		}
+	}()
+	<-events
+}
+
+// joinedWorker is the sanctioned WaitGroup shape: Add before the go
+// statement, deferred Done in the body. The blocking Recv inside needs no
+// waiver because the spawner owns the join.
+func joinedWorker(c Conn) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// ctxBounded is the alarm shape: every block is released by context
+// cancellation or bounded outright.
+func ctxBounded(ctx context.Context, out chan<- struct{}) {
+	go func() {
+		time.Sleep(time.Millisecond)
+		select {
+		case out <- struct{}{}:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// closeSignalled parks on a channel this package visibly closes.
+func closeSignalled() {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	close(done)
+}
+
+// bufferedResult sends into a channel the spawner sized for exactly this
+// goroutine's output — the robust attempt shape.
+func bufferedResult() <-chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return ch
+}
+
+// dynamicNoCtx spawns a function value the analyzer cannot see into.
+func dynamicNoCtx(f func()) {
+	go f() // want `dynamic function value with no context argument`
+}
+
+// dynamicWithCtx passes a context, the visible termination evidence for an
+// opaque callee.
+func dynamicWithCtx(ctx context.Context, f func(context.Context)) {
+	go f(ctx)
+}
+
+// suppressed documents a deliberate leak: the justified allow directive
+// silences the diagnostic.
+func suppressed(c Conn) {
+	go func() {
+		//ppalint:allow goroutineleak fixture documents a deliberately detached reader
+		_, _ = c.Recv()
+	}()
+}

@@ -1,0 +1,19 @@
+// Package transport is a fixture for the close-released waiver: this
+// package calls Close on the shard.Conn it reads, so the parked Recv has a
+// visible unblocking path and the reader needs no join.
+package transport
+
+import "ppatuner/internal/shard"
+
+// serve mirrors the real accept loop: the reader is released by the
+// Close below, not by a join.
+func serve(c shard.Conn) {
+	go func() {
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	_ = c.Close()
+}

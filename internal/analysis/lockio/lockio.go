@@ -1,0 +1,329 @@
+// Package lockio bans blocking I/O inside mutex critical sections — the
+// classic coordinator-event-loop deadlock shape.
+//
+// The distributed layer keeps its invariants with short critical sections:
+// the circuit breaker samples state under b.mu and releases it before every
+// clock dwell, the failure log snapshots its fields before calling the
+// logger. A blocking operation that sneaks under a lock — a Conn.Recv, a
+// channel handshake, a sleep — couples every other goroutine contending for
+// that mutex to an unbounded wait, and under the fault-injecting transport
+// that is a deadlock, not a slowdown. The analyzer tracks lock regions
+// per function and flags every blocking operation (directly present or
+// reachable through intra-package calls, via the call graph) while a
+// sync.Mutex or sync.RWMutex is held.
+//
+// The region tracker is linear and syntactic: x.Lock()/x.RLock() opens a
+// region keyed by the receiver expression, x.Unlock()/x.RUnlock() at the
+// same nesting level closes it, a deferred unlock holds to function end,
+// and branches are analysed with a copy of the held set (a lock released
+// on one branch is still held on the path that skipped the branch).
+// Blocking here is the shared classifier's list minus the termination
+// waivers goroutineleak accepts: a bounded sleep or a context-cancellable
+// wait still stalls the lock holder, so only a select with a default
+// clause and operations on channels this package visibly buffers are
+// exempt.
+package lockio
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"ppatuner/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockio",
+	Doc: `flag blocking I/O reachable while a sync.Mutex/RWMutex is held
+
+Within the concurrency-covered packages (internal/shard,
+internal/shard/transport, internal/robust, internal/par), no blocking
+operation — Conn.Send/Recv, net or os/exec waits, stream JSON
+encode/decode, time.Sleep or clock sleeps, WaitGroup.Wait, unbuffered
+channel ops, selects without a default — may execute while a mutex is
+held, whether spelled inline or reached through an intra-package call.
+Release the lock around the I/O, or buffer the channel in-package.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.ConcurrencyPolicy(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	graph := analysis.BuildCallGraph(pass)
+	facts := analysis.GatherPkgFacts(pass)
+
+	// Summaries: which functions directly contain a lockio-relevant blocking
+	// op, propagated to everything that can reach one.
+	direct := map[*types.Func][]analysis.BlockingOp{}
+	for _, fi := range graph.Funcs() {
+		if fi.Decl == nil || fi.Decl.Body == nil {
+			continue
+		}
+		direct[fi.Obj] = rejectOps(analysis.ScanBlockingOps(pass, facts, fi.Decl.Body))
+	}
+	mayBlock := graph.Propagate(func(fi *analysis.FuncInfo) bool {
+		return len(direct[fi.Obj]) > 0
+	})
+
+	c := &checker{pass: pass, graph: graph, facts: facts, direct: direct, mayBlock: mayBlock}
+	for _, file := range pass.Files {
+		if analysis.InTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.walkStmts(fd.Body.List, lockState{})
+			}
+		}
+	}
+	return nil, nil
+}
+
+// rejectOps keeps the ops a lock holder may not perform: everything but
+// selects with a default and ops on visibly buffered channels.
+func rejectOps(ops []analysis.BlockingOp) []analysis.BlockingOp {
+	var out []analysis.BlockingOp
+	for _, op := range ops {
+		if op.HasDefault || op.BufferedLocal {
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// lockState maps the rendered receiver of a held mutex ("b.mu") to the
+// position of the Lock call that opened the region.
+type lockState map[string]token.Pos
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// heldName returns the lexically smallest held mutex, so diagnostics are
+// deterministic when several are held.
+func (s lockState) heldName() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys[0]
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	graph    *analysis.CallGraph
+	facts    *analysis.PkgFacts
+	direct   map[*types.Func][]analysis.BlockingOp
+	mayBlock map[*types.Func]bool
+}
+
+// walkStmts scans one statement list linearly, threading the held-lock
+// state through it.
+func (c *checker) walkStmts(stmts []ast.Stmt, held lockState) {
+	for _, st := range stmts {
+		c.walkStmt(st, held)
+	}
+}
+
+// walkStmt processes one statement: branch statements recurse with a clone
+// of the held state (a lock released inside a branch is still held on the
+// fall-through path), everything else is a leaf scanned for lock
+// transitions and blocking operations.
+func (c *checker) walkStmt(stmt ast.Stmt, held lockState) {
+	switch st := stmt.(type) {
+	case *ast.LabeledStmt:
+		c.walkStmt(st.Stmt, held)
+	case *ast.BlockStmt:
+		c.walkStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held)
+		}
+		c.checkLeafNode(st.Cond, held)
+		c.walkStmts(st.Body.List, held.clone())
+		if st.Else != nil {
+			c.walkStmt(st.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			c.checkLeafNode(st.Cond, held)
+		}
+		body := held.clone()
+		c.walkStmts(st.Body.List, body)
+		if st.Post != nil {
+			c.walkStmt(st.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.checkLeafNode(st.X, held)
+		c.walkStmts(st.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			c.checkLeafNode(st.Tag, held)
+		}
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(clause.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held)
+		}
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(clause.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		// The select as a whole is a blocking op; its comm bodies run with
+		// the same locks held.
+		c.checkLeafNode(st, held)
+	default:
+		c.checkLeaf(stmt, held)
+	}
+}
+
+// checkLeaf handles a non-branch statement: apply lock/unlock transitions
+// in source order and flag blocking operations and blocking calls while
+// anything is held.
+func (c *checker) checkLeaf(stmt ast.Stmt, held lockState) {
+	deferred := false
+	if _, ok := stmt.(*ast.DeferStmt); ok {
+		deferred = true
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		// A lock transition inside a nested function literal or spawned
+		// goroutine happens on another activation, not in this region.
+		switch n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, name, ok := mutexCall(c.pass.TypesInfo, call); ok {
+			switch name {
+			case "Lock", "RLock":
+				held[key] = call.Pos()
+			case "Unlock", "RUnlock":
+				// A deferred unlock releases at function end; the region
+				// stays held for the rest of the scan.
+				if !deferred {
+					delete(held, key)
+				}
+			}
+		}
+		return true
+	})
+	c.checkLeafNode(stmt, held)
+}
+
+// checkLeafNode flags the blocking ops and blocking intra-package calls
+// inside one leaf node if any lock is held when it executes.
+func (c *checker) checkLeafNode(n ast.Node, held lockState) {
+	if len(held) == 0 {
+		return
+	}
+	name := held.heldName()
+	lockLine := c.pass.Fset.Position(held[name]).Line
+	for _, op := range rejectOps(analysis.ScanBlockingOps(c.pass, c.facts, n)) {
+		c.pass.Reportf(op.Pos,
+			"blocking operation (%s) while mutex %s is held (locked at line %d); release the lock around the I/O",
+			op.What, name, lockLine)
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.GoStmt); ok {
+			return false
+		}
+		if fl, ok := m.(*ast.FuncLit); ok && m != n {
+			_ = fl
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.StaticCallee(c.pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() != c.pass.Pkg || !c.mayBlock[fn] {
+			return true
+		}
+		what := "blocking I/O"
+		if op := firstDirect(c.graph, c.direct, fn, map[*types.Func]bool{}); op != nil {
+			what = op.What
+		}
+		c.pass.Reportf(call.Pos(),
+			"call to %s performs blocking I/O (%s) while mutex %s is held (locked at line %d); release the lock around the call",
+			fn.Name(), what, name, lockLine)
+		return true
+	})
+}
+
+// firstDirect finds the first blocking op justifying a transitive
+// diagnostic, depth-first in source order.
+func firstDirect(graph *analysis.CallGraph, direct map[*types.Func][]analysis.BlockingOp,
+	fn *types.Func, visited map[*types.Func]bool) *analysis.BlockingOp {
+	if visited[fn] {
+		return nil
+	}
+	visited[fn] = true
+	if ops := direct[fn]; len(ops) > 0 {
+		return &ops[0]
+	}
+	fi := graph.Lookup(fn)
+	if fi == nil {
+		return nil
+	}
+	for _, callee := range fi.Calls {
+		if op := firstDirect(graph, direct, callee, visited); op != nil {
+			return op
+		}
+	}
+	return nil
+}
+
+// mutexCall reports whether call invokes a sync.Mutex/sync.RWMutex
+// lock-transition method, returning the rendered receiver expression as the
+// region key.
+func mutexCall(info *types.Info, call *ast.CallExpr) (key, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return "", "", false
+	}
+	return analysis.Render(sel.X), fn.Name(), true
+}

@@ -1,0 +1,17 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"ppatuner/internal/analysis/analysistest"
+	"ppatuner/internal/analysis/lockio"
+)
+
+// One fixture package covers the direct violations (sleep under lock,
+// deferred-unlock wire send, branch fall-through hold, unbuffered send),
+// the sanctioned shapes (unlock-before-dwell, buffered channel, select
+// default), the transitive helper-chain case, and a justified suppression.
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockio.Analyzer,
+		"ppatuner/internal/shard")
+}

@@ -1,0 +1,99 @@
+// Package shard is a lockio fixture: the import path puts it under the
+// concurrency policy, and the shapes mirror the real breaker/transport
+// critical sections.
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+type Msg struct{}
+
+// Conn matches the real shard.Conn surface so Send/Recv classify as wire
+// I/O.
+type Conn interface {
+	Send(Msg) error
+	Recv() (Msg, error)
+	Close() error
+}
+
+type box struct {
+	mu    sync.Mutex
+	state int
+}
+
+// sleepUnderLock is the textbook violation.
+func (b *box) sleepUnderLock() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking operation \(time\.Sleep\) while mutex b\.mu is held`
+	b.mu.Unlock()
+}
+
+// deferredUnlock holds to function end, so the wire send is under the lock.
+func (b *box) deferredUnlock(c Conn) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return c.Send(Msg{}) // want `blocking operation \(shard\.Conn\.Send\) while mutex b\.mu is held`
+}
+
+// unlockFirst is the breaker's sanctioned shape: sample state under the
+// lock, release it, then dwell.
+func (b *box) unlockFirst() {
+	b.mu.Lock()
+	s := b.state
+	b.mu.Unlock()
+	if s > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// branchUnlock releases only on the early-return path; the fall-through
+// still holds the lock when it parks on the unbuffered channel.
+func (b *box) branchUnlock(ch chan int) {
+	b.mu.Lock()
+	if b.state == 0 {
+		b.mu.Unlock()
+		return
+	}
+	ch <- b.state // want `blocking operation \(send on channel "ch"\) while mutex b\.mu is held`
+	b.mu.Unlock()
+}
+
+// bufferedUnderLock is out of scope: the channel is visibly buffered in
+// this package, and the select has a default.
+func (b *box) bufferedUnderLock() {
+	signal := make(chan struct{}, 1)
+	b.mu.Lock()
+	signal <- struct{}{}
+	select {
+	case <-signal:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+// helperSleeps hides the dwell one call down.
+func (b *box) helperSleeps() {
+	dwell()
+}
+
+func dwell() {
+	time.Sleep(time.Millisecond)
+}
+
+// transitive must be flagged at the call site through the helper chain.
+func (b *box) transitive() {
+	b.mu.Lock()
+	b.helperSleeps() // want `call to helperSleeps performs blocking I/O \(time\.Sleep\) while mutex b\.mu is held`
+	b.mu.Unlock()
+}
+
+// suppressed documents a deliberate hold-across-send, silenced by the
+// justified directive.
+func (b *box) suppressed(c Conn) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//ppalint:allow lockio fixture documents a deliberate serialised frame write
+	return c.Send(Msg{})
+}

@@ -1,0 +1,226 @@
+// Package noalloc verifies the zero-allocation guarantee of annotated hot
+// paths.
+//
+// The gp fit/predict workspaces exist so the per-iteration refit loop runs
+// without touching the garbage collector: every buffer is sized once and
+// reused, and the benchmarks pin allocs/op at zero. That guarantee is easy
+// to lose silently — one appended slice, one value boxed into an interface
+// for a log call, one closure capture — and the benchmark that would catch
+// it only runs in the bench-smoke job. Annotating the hot function with
+//
+//	//ppalint:noalloc
+//
+// in its doc comment puts the guarantee under lint: the body (and every
+// intra-package function it statically calls, via the call graph) is
+// checked for allocation-introducing constructs — make, new, composite
+// literals, append, func literals (closure allocation), go statements, and
+// interface boxing at call sites. Arguments of panic(...) are exempt:
+// assembling a panic message allocates only on the failing path, which by
+// definition leaves the hot loop.
+//
+// Cross-package calls are assumed allocation-free: the mat/simd kernels the
+// hot paths lean on carry their own zero-alloc benchmarks. Keeping the
+// check intra-package keeps it deterministic and cheap; annotate the callee
+// in its own package if it needs the same guarantee.
+package noalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"ppatuner/internal/analysis"
+)
+
+const directive = "ppalint:noalloc"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: `check //ppalint:noalloc functions for allocation-introducing constructs
+
+A function whose doc comment carries //ppalint:noalloc must not contain
+make, new, composite literals, append, func literals, go statements, or
+interface boxing at call sites — and neither may any intra-package function
+it statically calls (checked transitively over the call graph). Arguments
+of panic(...) are exempt; cross-package callees are assumed clean.`,
+	Run: run,
+}
+
+// An allocSite is one allocation-introducing construct.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	graph := analysis.BuildCallGraph(pass)
+
+	// Summaries: the direct allocation sites of every function, and the
+	// transitive "may allocate" fact.
+	direct := map[*types.Func][]allocSite{}
+	for _, fi := range graph.Funcs() {
+		if fi.Decl == nil || fi.Decl.Body == nil {
+			continue
+		}
+		direct[fi.Obj] = allocSites(pass, fi.Decl.Body)
+	}
+	mayAlloc := graph.Propagate(func(fi *analysis.FuncInfo) bool {
+		return len(direct[fi.Obj]) > 0
+	})
+
+	for _, fi := range graph.Funcs() {
+		if fi.Decl == nil || fi.Decl.Body == nil || !annotated(fi.Decl) {
+			continue
+		}
+		if analysis.InTestFile(pass.Fset, fi.Decl.Pos()) {
+			continue
+		}
+		for _, site := range direct[fi.Obj] {
+			pass.Reportf(site.pos,
+				"%s in //ppalint:noalloc function %s; the zero-allocation guarantee is benchmark-pinned — hoist the allocation into the workspace",
+				site.what, fi.Obj.Name())
+		}
+		// Calls into intra-package functions that (transitively) allocate.
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.StaticCallee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() != pass.Pkg || fn == fi.Obj || !mayAlloc[fn] {
+				return true
+			}
+			site := firstAlloc(graph, direct, fn, map[*types.Func]bool{})
+			what := "allocates"
+			if site != nil {
+				sp := pass.Fset.Position(site.pos)
+				what = fmt.Sprintf("%s at %s:%d", site.what, filepath.Base(sp.Filename), sp.Line)
+			}
+			pass.Reportf(call.Pos(),
+				"call to %s from //ppalint:noalloc function %s allocates (%s); annotate and fix the callee or hoist the work",
+				fn.Name(), fi.Obj.Name(), what)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// annotated reports whether the declaration's doc comment carries the
+// noalloc directive.
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// firstAlloc finds the first allocation site reachable from fn, depth-first
+// in source order — the evidence quoted in transitive diagnostics.
+func firstAlloc(graph *analysis.CallGraph, direct map[*types.Func][]allocSite,
+	fn *types.Func, visited map[*types.Func]bool) *allocSite {
+	if visited[fn] {
+		return nil
+	}
+	visited[fn] = true
+	if sites := direct[fn]; len(sites) > 0 {
+		return &sites[0]
+	}
+	fi := graph.Lookup(fn)
+	if fi == nil {
+		return nil
+	}
+	for _, callee := range fi.Calls {
+		if site := firstAlloc(graph, direct, callee, visited); site != nil {
+			return site
+		}
+	}
+	return nil
+}
+
+// allocSites scans one function body for allocation-introducing constructs.
+// panic(...) subtrees are exempt; nested func literals are flagged as a
+// closure allocation and not descended into.
+func allocSites(pass *analysis.Pass, body *ast.BlockStmt) []allocSite {
+	var out []allocSite
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.GoStmt:
+			out = append(out, allocSite{st.Pos(), "go statement (new goroutine stack)"})
+			return false
+		case *ast.FuncLit:
+			out = append(out, allocSite{st.Pos(), "func literal (closure allocation)"})
+			return false
+		case *ast.CompositeLit:
+			out = append(out, allocSite{st.Pos(), "composite literal"})
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "panic":
+						// Failing path only: message assembly is exempt.
+						return false
+					case "make":
+						out = append(out, allocSite{st.Pos(), "make"})
+					case "new":
+						out = append(out, allocSite{st.Pos(), "new"})
+					case "append":
+						out = append(out, allocSite{st.Pos(), "append (growth reallocates)"})
+					}
+					return true
+				}
+			}
+			out = append(out, boxingSites(info, st)...)
+		}
+		return true
+	})
+	return out
+}
+
+// boxingSites flags concrete-typed arguments passed to interface
+// parameters: the conversion allocates when the value escapes to the heap.
+func boxingSites(info *types.Info, call *ast.CallExpr) []allocSite {
+	sigType := info.TypeOf(call.Fun)
+	if sigType == nil {
+		return nil
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	var out []allocSite
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		out = append(out, allocSite{arg.Pos(), "interface boxing of argument"})
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"ppatuner/internal/analysis/analysistest"
+	"ppatuner/internal/analysis/noalloc"
+)
+
+// The fixture covers every allocation construct in an annotated function
+// (make, new, append, composite literal, func literal, interface boxing),
+// the transitive call-graph case, the panic-argument exemption, an
+// unannotated function left alone, and a justified suppression.
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), noalloc.Analyzer, "hotpath")
+}

@@ -1,0 +1,71 @@
+// Package hotpath is the noalloc fixture: annotated functions mirror the
+// gp workspace hot loops, unannotated ones are free to allocate.
+package hotpath
+
+import "fmt"
+
+type ws struct {
+	buf []float64
+	out []float64
+}
+
+// fill is the sanctioned shape: pure index arithmetic over preallocated
+// workspace buffers, plus a panic guard whose message assembly is exempt.
+//
+//ppalint:noalloc
+func (w *ws) fill(scale float64) {
+	if len(w.out) != len(w.buf) {
+		panic(fmt.Sprintf("hotpath: out %d vs buf %d", len(w.out), len(w.buf)))
+	}
+	for i, v := range w.buf {
+		w.out[i] = v * scale
+	}
+}
+
+// direct violates the guarantee five ways.
+//
+//ppalint:noalloc
+func (w *ws) direct(n int) {
+	w.buf = make([]float64, n) // want `make in //ppalint:noalloc function direct`
+	extra := new(ws)           // want `new in //ppalint:noalloc function direct`
+	_ = extra
+	w.out = append(w.out, 1) // want `append \(growth reallocates\) in //ppalint:noalloc function direct`
+	pair := [2]int{n, n}     // want `composite literal in //ppalint:noalloc function direct`
+	_ = pair
+	f := func() {} // want `func literal \(closure allocation\) in //ppalint:noalloc function direct`
+	f()
+}
+
+// boxes leaks a concrete value into an interface parameter.
+//
+//ppalint:noalloc
+func (w *ws) boxes(n int) {
+	sink(n) // want `interface boxing of argument`
+}
+
+func sink(v any) { _ = v }
+
+// helper allocates; callers under the annotation inherit the violation.
+func helper(n int) []float64 {
+	return make([]float64, n)
+}
+
+// transitive must be flagged at the call site through the call graph.
+//
+//ppalint:noalloc
+func (w *ws) transitive(n int) {
+	_ = helper(n) // want `call to helper from //ppalint:noalloc function transitive allocates \(make at hotpath\.go:\d+\)`
+}
+
+// unannotated may allocate freely.
+func unannotated(n int) []float64 {
+	return append(make([]float64, 0, n), 1)
+}
+
+// suppressed documents a tolerated one-time allocation.
+//
+//ppalint:noalloc
+func (w *ws) suppressed(n int) {
+	//ppalint:allow noalloc fixture tolerates a documented warm-up allocation
+	w.buf = make([]float64, n)
+}

@@ -64,6 +64,28 @@ var Exempt = []Exemption{
 	},
 }
 
+// Concurrent lists the exact package paths whose non-test code is subject
+// to the concurrency analyzers (goroutineleak, lockio): the layers that own
+// goroutines, locks and wire I/O. Fixtures register the same paths, so the
+// analyzers behave identically under test.
+var Concurrent = []string{
+	"ppatuner/internal/shard",
+	"ppatuner/internal/shard/transport",
+	"ppatuner/internal/robust",
+	"ppatuner/internal/par",
+}
+
+// ConcurrencyPolicy reports whether pkgPath's non-test code is covered by
+// the goroutineleak and lockio analyzers.
+func ConcurrencyPolicy(pkgPath string) bool {
+	for _, p := range Concurrent {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
 // DeterminismPolicy reports whether pkgPath falls under the determinism
 // ban, and if it is exempt, the documented reason.
 func DeterminismPolicy(pkgPath string) (covered bool, exemptReason string) {

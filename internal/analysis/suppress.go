@@ -22,6 +22,7 @@ type allowDirective struct {
 	pos       token.Pos // for reporting malformed directives
 	covers    int       // line the directive suppresses
 	analyzer  string
+	reason    string
 	justified bool
 }
 
@@ -47,6 +48,7 @@ func collectAllows(fset *token.FileSet, file *ast.File) []allowDirective {
 			}
 			if len(fields) > 0 {
 				d.analyzer = fields[0]
+				d.reason = strings.Join(fields[1:], " ")
 			}
 			// A justification must say something beyond the analyzer name:
 			// require at least three further words so "ok" doesn't pass.
@@ -76,28 +78,65 @@ func codeLines(fset *token.FileSet, file *ast.File) map[int]bool {
 // naming the given analyzer. Unjustified directives never suppress; they are
 // reported separately by DirectiveDiagnostics so CI fails on them.
 func Filter(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) []Diagnostic {
+	kept, _ := Partition(fset, files, analyzer, diags)
+	return kept
+}
+
+// Partition splits diagnostics into those that stand and those silenced by a
+// justified //ppalint:allow directive for the given analyzer. Drivers that
+// emit machine-readable output use the suppressed half too, so a dashboard
+// can show what was waived, not just what fired.
+func Partition(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) (kept, suppressed []Diagnostic) {
 	byFile := make(map[*token.File][]allowDirective)
 	for _, f := range files {
 		if tf := fset.File(f.Pos()); tf != nil {
 			byFile[tf] = collectAllows(fset, f)
 		}
 	}
-	var kept []Diagnostic
 	for _, diag := range diags {
 		tf := fset.File(diag.Pos)
 		line := fset.Position(diag.Pos).Line
-		suppressed := false
+		waived := false
 		for _, d := range byFile[tf] {
 			if d.analyzer == analyzer && d.justified && d.covers == line {
-				suppressed = true
+				waived = true
 				break
 			}
 		}
-		if !suppressed {
+		if waived {
+			suppressed = append(suppressed, diag)
+		} else {
 			kept = append(kept, diag)
 		}
 	}
-	return kept
+	return kept, suppressed
+}
+
+// Suppression is one //ppalint:allow directive, surfaced for auditing: the
+// -audit mode of cmd/ppalint lists every suppression in the tree with its
+// analyzer and justification so waivers stay reviewable in one place.
+type Suppression struct {
+	Pos       token.Pos
+	Analyzer  string // named analyzer, "" if the directive is malformed
+	Reason    string // justification text after the analyzer name
+	Justified bool   // reason has enough substance to count
+}
+
+// Suppressions returns every ppalint:allow directive in the files, in
+// source order.
+func Suppressions(fset *token.FileSet, files []*ast.File) []Suppression {
+	var out []Suppression
+	for _, f := range files {
+		for _, d := range collectAllows(fset, f) {
+			out = append(out, Suppression{
+				Pos:       d.pos,
+				Analyzer:  d.analyzer,
+				Reason:    d.reason,
+				Justified: d.justified,
+			})
+		}
+	}
+	return out
 }
 
 // DirectiveDiagnostics reports every malformed ppalint:allow directive —

@@ -1,0 +1,30 @@
+// Package wire is a wirecompat fixture: the committed testdata/wire.lock
+// records an older schema, and every divergence class must be reported.
+// The lock also records a struct wire.Gone that no longer exists, flagged
+// at the package clause below.
+package wire // want `wire struct wire\.Gone is locked in wire\.lock but no longer reachable`
+
+// Envelope is the fixture wire root.
+type Envelope struct { // want `field OldName \(json "old_name"\) was removed or renamed`
+	Kind    string  `json:"kind"`     // want `changed json tag "type" -> "kind"`
+	Seq     int64   `json:"seq"`      // want `changed type int -> int64`
+	NewName string  `json:"new_name"` // want `new field NewName is not recorded`
+	Added   bool    `json:"added"`    // want `new field Added is not recorded`
+	Bare    float64 // want `exported field Bare has no json tag`
+	//ppalint:allow wirecompat fixture demonstrates a reviewed suppression of a tag change
+	Quiet string `json:"quiet2"`
+	Body  *Body  `json:"body"`
+	Extra *Extra `json:"extra"` // want `new field Extra is not recorded`
+
+	hidden int // unexported: invisible to encoding/json, never in the schema
+}
+
+// Body is locked and unchanged.
+type Body struct {
+	N int `json:"n"`
+}
+
+// Extra is reachable but absent from the lock.
+type Extra struct { // want `wire struct wire\.Extra is reachable from the wire roots but not recorded`
+	V string `json:"v"`
+}

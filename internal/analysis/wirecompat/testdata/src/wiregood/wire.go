@@ -1,0 +1,17 @@
+// Package wiregood is the clean wirecompat fixture: the schema matches
+// testdata/wiregood.lock exactly, so the analyzer must stay silent.
+package wiregood
+
+// Envelope is the fixture wire root.
+type Envelope struct {
+	Kind string `json:"kind"`
+	Seq  int    `json:"seq"`
+	Body *Body  `json:"body"`
+	Skip func() `json:"-"`
+}
+
+// Body is nested and locked.
+type Body struct {
+	N  int       `json:"n"`
+	Vs []float64 `json:"vs"`
+}

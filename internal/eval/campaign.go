@@ -22,11 +22,16 @@ type Unit struct {
 	Seed     int64
 }
 
-// UnitResult is one unit's scored outcome.
+// UnitResult is one unit's scored outcome. It crosses the shard wire
+// protocol inside Msg.Result, so the json tags are wire format and locked
+// by the wirecompat analyzer; it is never persisted to checkpoint files
+// (CampaignCell is the durable form), which is why adding the explicit tags
+// was a compatible change — both ends of the wire are always the same
+// binary.
 type UnitResult struct {
-	HV   float64
-	ADRS float64
-	Runs int
+	HV   float64 `json:"hv"`
+	ADRS float64 `json:"adrs"`
+	Runs int     `json:"runs"`
 }
 
 // Campaign is a resumable, parallel table-regeneration run: it enumerates

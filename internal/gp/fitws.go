@@ -81,6 +81,8 @@ func newFitWS(g *GP) *fitWS {
 // hyper-parameters from the cached distances. It matches (*GP).gram entry
 // for entry up to the ulp-level difference of accumulating Σ d²·(1/ℓ²)
 // instead of Σ (d/ℓ)².
+//
+//ppalint:noalloc
 func (w *fitWS) fillGram(g *GP) {
 	np := mat.PackedLen(w.n)
 	gm := w.gram
@@ -153,6 +155,8 @@ func (w *fitWS) fillGram(g *GP) {
 // under g's current hyper-parameters, reusing all workspace buffers. It
 // applies the same jitter-retry ladder as the non-workspace path and returns
 // +Inf when the Gram matrix is not positive definite even with jitter.
+//
+//ppalint:noalloc
 func (w *fitWS) nlml(g *GP) float64 {
 	w.fillGram(g)
 	if err := w.chol.FactorizePacked(w.gram, w.n, 1e-8, 6); err != nil {

@@ -153,6 +153,8 @@ func newSparseFitWS(s *SparseGP) (*sparseFitWS, error) {
 // fillCov rewrites the K_uu and K_fu workspaces for s's current
 // hyper-parameters from the cached distances, including the ρ factor on
 // cross-task entries and the diagonal jitter on K_uu.
+//
+//ppalint:noalloc
 func (w *sparseFitWS) fillCov(s *SparseGP) {
 	m := w.m
 	mp := mat.PackedLen(m)
@@ -223,6 +225,8 @@ func (w *sparseFitWS) fillCov(s *SparseGP) {
 
 // evalRows applies cov's distance→covariance transform to each d-wide row of
 // per-dimension squared differences (generic non-Matérn path).
+//
+//ppalint:noalloc
 func evalRows(dst, sqd, inv2 []float64, d int, cov *Cov) {
 	for p := range dst {
 		row := sqd[p*d : p*d+d : p*d+d]
@@ -237,6 +241,8 @@ func evalRows(dst, sqd, inv2 []float64, d int, cov *Cov) {
 // nlml evaluates the DTC negative log marginal likelihood under s's current
 // hyper-parameters, reusing all workspace buffers. Returns +Inf when either
 // m×m factorisation fails even with jitter.
+//
+//ppalint:noalloc
 func (w *sparseFitWS) nlml(s *SparseGP) float64 {
 	w.fillCov(s)
 	m := w.m

@@ -152,6 +152,12 @@ func (co *Coordinator) Stats() Stats { return co.ledger.Stats() }
 // stops registration but not the campaign.
 func (co *Coordinator) Run(ctx context.Context, conns <-chan Conn) (*eval.Table, error) {
 	events := make(chan event, 64)
+	// readersDone releases every per-connection reader goroutine when Run
+	// returns: a reader parked on an events send would otherwise leak once
+	// the loop stops draining, and shutdownWorkers closes the conns so no
+	// reader stays parked in Recv either.
+	readersDone := make(chan struct{})
+	defer close(readersDone)
 	defer co.shutdownWorkers()
 
 	var alarmCancel context.CancelFunc
@@ -209,11 +215,14 @@ func (co *Coordinator) Run(ctx context.Context, conns <-chan Conn) (*eval.Table,
 			go func(c Conn) {
 				for {
 					m, err := c.Recv()
-					if err != nil {
-						events <- event{conn: c, err: err}
+					select {
+					case events <- event{conn: c, msg: m, err: err}:
+					case <-readersDone:
 						return
 					}
-					events <- event{conn: c, msg: m}
+					if err != nil {
+						return
+					}
 				}
 			}(c)
 		case ev := <-events:
@@ -523,12 +532,18 @@ func (co *Coordinator) workerIndex(w *workerState) int {
 	return -1
 }
 
-// shutdownWorkers broadcasts shutdown to every live worker.
+// shutdownWorkers broadcasts shutdown to every live worker, then closes
+// every connection: the close unblocks the reader goroutines still parked
+// in Recv, so Run leaves no goroutine behind even when a worker never
+// acknowledges the shutdown.
 func (co *Coordinator) shutdownWorkers() {
 	for _, w := range co.workers {
 		if w.alive {
 			_ = w.conn.Send(Msg{Type: MsgShutdown})
 		}
+	}
+	for _, w := range co.workers {
+		_ = w.conn.Close()
 	}
 }
 

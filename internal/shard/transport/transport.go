@@ -47,6 +47,11 @@ func Stream(r io.Reader, w io.Writer) shard.Conn {
 func (c *streamConn) Send(m shard.Msg) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	// Holding sendMu across the encode is this mutex's entire purpose:
+	// concurrent Sends must serialise whole frames or the JSON lines
+	// interleave and corrupt the stream. Nothing else ever takes sendMu, so
+	// the blocked party is only ever another Send on the same conn.
+	//ppalint:allow lockio sendMu exists to serialise whole-frame writes; no other path takes it
 	return c.enc.Encode(&m)
 }
 

@@ -137,6 +137,82 @@ func TestFaultDropsHeartbeatsAndDuplicatesResults(t *testing.T) {
 	}
 }
 
+// TestFaultCloseDoesNotUnsendResults pins the close semantics of the Fault
+// wrapper over a Loopback pair: a result sent just before the worker dies
+// must still arrive — delayed, and twice when duplication is on — before the
+// close surfaces as EOF. Neither layer may retroactively unsend it.
+func TestFaultCloseDoesNotUnsendResults(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	workerSide, coordRaw := Loopback()
+	coord := Fault(coordRaw, chaos.ProcFaults{
+		ResultDelay:      30 * time.Second,
+		DuplicateResults: true,
+	}, fc)
+
+	// The worker reports a result and is killed immediately after.
+	if err := workerSide.Send(shard.Msg{Type: shard.MsgResult, Key: "u", Epoch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	workerSide.Close()
+
+	// First delivery: the in-flight frame survives the close and still pays
+	// the configured delay on the virtual clock.
+	m, err := coord.Recv()
+	if err != nil || m.Type != shard.MsgResult || m.Key != "u" || m.Epoch != 4 {
+		t.Fatalf("first delivery after close = %+v, %v", m, err)
+	}
+	if got := fc.Now(); !got.Equal(time.Unix(30, 0)) {
+		t.Fatalf("result delay not applied across close: virtual now = %v", got)
+	}
+
+	// Second delivery: the duplicate queued inside the fault wrapper must not
+	// be eaten by the dead underlying conn.
+	m, err = coord.Recv()
+	if err != nil || m.Key != "u" || m.Epoch != 4 {
+		t.Fatalf("duplicate lost after close: %+v, %v", m, err)
+	}
+
+	// Only once both deliveries have drained does the close surface.
+	if _, err := coord.Recv(); err != io.EOF {
+		t.Fatalf("drained faulted conn should report EOF, got %v", err)
+	}
+
+	// Close forwards through the wrapper and the pair stays consistent.
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Send(shard.Msg{Type: shard.MsgShutdown}); err != io.ErrClosedPipe {
+		t.Fatalf("send on closed faulted conn = %v, want ErrClosedPipe", err)
+	}
+}
+
+// TestFaultDuplicateSurvivesMidStreamClose closes the worker between the
+// original delivery and the duplicate: the pending copy inside the wrapper
+// must still be handed out before EOF.
+func TestFaultDuplicateSurvivesMidStreamClose(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	workerSide, coordRaw := Loopback()
+	coord := Fault(coordRaw, chaos.ProcFaults{DuplicateResults: true}, fc)
+
+	if err := workerSide.Send(shard.Msg{Type: shard.MsgResult, Key: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := coord.Recv()
+	if err != nil || m.Key != "v" {
+		t.Fatalf("original delivery = %+v, %v", m, err)
+	}
+
+	workerSide.Close()
+
+	m, err = coord.Recv()
+	if err != nil || m.Key != "v" {
+		t.Fatalf("duplicate after mid-stream close = %+v, %v", m, err)
+	}
+	if _, err := coord.Recv(); err != io.EOF {
+		t.Fatalf("want EOF after duplicate drained, got %v", err)
+	}
+}
+
 func TestFaultDelaysResultsOnClock(t *testing.T) {
 	fc := clock.NewFake(time.Unix(0, 0))
 	workerSide, coordRaw := Loopback()
