@@ -73,6 +73,10 @@ var Concurrent = []string{
 	"ppatuner/internal/shard/transport",
 	"ppatuner/internal/robust",
 	"ppatuner/internal/par",
+	// The job server owns campaign-runner goroutines, per-client queues and
+	// the SSE broadcast path — exactly the leak/lock-inversion surface the
+	// analyzers exist for.
+	"ppatuner/internal/serve",
 }
 
 // ConcurrencyPolicy reports whether pkgPath's non-test code is covered by

@@ -35,7 +35,13 @@ import (
 // envelope and the two robust checkpoint file envelopes.
 var DefaultRoots = map[string][]string{
 	"ppatuner/internal/shard":  {"Msg"},
-	"ppatuner/internal/robust": {"checkpointFile", "campaignFile"},
+	"ppatuner/internal/robust": {"checkpointFile", "campaignFile", "jobsFile"},
+	// The job server's HTTP API: request/response documents plus the SSE
+	// event framing. Deployed clients hold the other end of these schemas.
+	"ppatuner/internal/serve": {
+		"JobRequest", "SubmitResponse", "JobView", "JobListDoc",
+		"FrontDoc", "Event", "EventPage", "ErrorDoc", "HealthDoc",
+	},
 }
 
 // LockFileName is the golden schema file, committed at the module root.

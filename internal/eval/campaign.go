@@ -85,6 +85,25 @@ type Campaign struct {
 	// the checkpoint cache, so it sees only fresh tool invocations, never
 	// replayed observations.
 	WrapUnit func(Unit, core.Evaluator) core.Evaluator
+	// Gate, when non-nil, is consulted immediately before each unit starts
+	// (completed units replayed from the checkpoint are never gated). A
+	// non-nil error fails the unit with that error and thereby aborts the
+	// campaign — the pause hook job-level schedulers (cmd/ppaserved) use to
+	// drain a campaign at the next unit boundary: already-running units
+	// keep streaming observations into the checkpoint, so nothing paid for
+	// is lost and the campaign resumes exactly where it stopped.
+	Gate func(Unit) error
+	// OnUnit, when non-nil, observes each unit's scored outcome the moment
+	// the unit finishes — after scoring, before the completion is recorded
+	// in the checkpoint. A crash between the callback and the checkpoint
+	// write re-runs the unit on resume and replays the callback with
+	// bit-identical data (units are deterministic), so durable per-unit
+	// side effects (the server's job manifest) stay consistent without
+	// two-phase commit. Units already completed in the checkpoint are
+	// skipped without a callback: whatever OnUnit persisted for them
+	// persisted before their completion did. A non-nil error fails the
+	// unit.
+	OnUnit func(Unit, UnitResult, *Outcome) error
 }
 
 func (c *Campaign) spaces() []ObjSpace {
@@ -240,6 +259,11 @@ func (c *Campaign) runUnit(u Unit) (UnitResult, error) {
 			return UnitResult{HV: cell.HV, ADRS: cell.ADRS, Runs: cell.Runs}, nil
 		}
 	}
+	if c.Gate != nil {
+		if err := c.Gate(u); err != nil {
+			return UnitResult{}, err
+		}
+	}
 	src := core.NewPCGSource(uint64(u.Seed), unitSalt(key))
 	if ck != nil {
 		if state, _ := ck.PartialRandState(key); state != nil {
@@ -286,6 +310,11 @@ func (c *Campaign) runUnit(u Unit) (UnitResult, error) {
 	}
 	hv, adrs := Score(c.Scenario, space, out)
 	res := UnitResult{HV: hv, ADRS: adrs, Runs: out.Runs}
+	if c.OnUnit != nil {
+		if err := c.OnUnit(u, res, out); err != nil {
+			return UnitResult{}, err
+		}
+	}
 	if ck != nil {
 		if err := ck.Complete(key, robust.CampaignCell{HV: hv, ADRS: adrs, Runs: out.Runs}); err != nil {
 			return UnitResult{}, err

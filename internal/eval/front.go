@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"sort"
+
+	"ppatuner/internal/pareto"
+)
+
+// GoldenFront returns the target benchmark's golden Pareto front in the
+// given objective space, sorted lexicographically by objective vector — the
+// reference series a tuning job's learned fronts are judged against. The
+// result is a pure function of the scenario and space, so serving layers
+// may compute it once per job and persist it.
+func GoldenFront(s *Scenario, space ObjSpace) [][]float64 {
+	return sortFront(pareto.FrontPoints(s.Target.Objectives(space.Metrics)))
+}
+
+// OutcomeFront maps one run's predicted Pareto set to its objective
+// vectors, dominance-filters it (the same filtering Score applies before
+// measuring HV error and ADRS), and sorts it lexicographically — the
+// stable, comparable wire form of a unit's learned front.
+func OutcomeFront(s *Scenario, space ObjSpace, out *Outcome) [][]float64 {
+	objVecs := s.Target.Objectives(space.Metrics)
+	approx := make([][]float64, 0, len(out.ParetoIdx))
+	for _, i := range out.ParetoIdx {
+		approx = append(approx, objVecs[i])
+	}
+	return sortFront(pareto.FrontPoints(approx))
+}
+
+// sortFront orders front points lexicographically by objective values, so
+// the serialised series is independent of pool index order.
+func sortFront(pts [][]float64) [][]float64 {
+	sort.Slice(pts, func(a, b int) bool {
+		for k := range pts[a] {
+			if pts[a][k] != pts[b][k] {
+				return pts[a][k] < pts[b][k]
+			}
+		}
+		return false
+	})
+	return pts
+}

@@ -1,0 +1,167 @@
+package eval
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ppatuner/internal/robust"
+)
+
+// frontSorted reports whether pts is in the lexicographic order GoldenFront
+// and OutcomeFront promise.
+func frontSorted(pts [][]float64) bool {
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		for k := range a {
+			if a[k] != b[k] {
+				if a[k] > b[k] {
+					return false
+				}
+				break
+			}
+		}
+	}
+	return true
+}
+
+func TestGoldenFront(t *testing.T) {
+	s := miniScenario(t)
+	sp := Spaces()[0]
+	f := GoldenFront(s, sp)
+	if len(f) == 0 {
+		t.Fatal("empty golden front")
+	}
+	for i, p := range f {
+		if len(p) != len(sp.Metrics) {
+			t.Fatalf("point %d has %d objectives, want %d", i, len(p), len(sp.Metrics))
+		}
+	}
+	if !frontSorted(f) {
+		t.Fatal("golden front is not lexicographically sorted")
+	}
+	if !reflect.DeepEqual(f, GoldenFront(s, sp)) {
+		t.Fatal("GoldenFront is not deterministic")
+	}
+}
+
+func TestOutcomeFront(t *testing.T) {
+	s := miniScenario(t)
+	sp := Spaces()[0]
+	out, err := RunMethod(TCAD19, s, sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := OutcomeFront(s, sp, out)
+	if len(f) == 0 {
+		t.Fatal("empty learned front")
+	}
+	if len(f) > len(out.ParetoIdx) {
+		t.Fatalf("front has %d points from %d predictions — filtering added points", len(f), len(out.ParetoIdx))
+	}
+	if !frontSorted(f) {
+		t.Fatal("learned front is not lexicographically sorted")
+	}
+}
+
+// TestCampaignOnUnit proves the callback sees every fresh unit exactly once
+// with its scored result, and that checkpoint-replayed units skip it — the
+// invariant the job server's manifest writes build on.
+func TestCampaignOnUnit(t *testing.T) {
+	s := miniScenario(t)
+	path := filepath.Join(t.TempDir(), "c.ckpt.json")
+	ck, err := robust.LoadCampaignCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]UnitResult{}
+	c := &Campaign{
+		Scenario: s, Seeds: []int64{1},
+		Spaces: Spaces()[:1], Methods: []Method{TCAD19, DAC19},
+		Checkpoint: ck,
+		OnUnit: func(u Unit, res UnitResult, out *Outcome) error {
+			if out == nil || out.Runs != res.Runs {
+				t.Errorf("OnUnit outcome/result mismatch for %+v", u)
+			}
+			seen[string(u.Method)] = res
+			return nil
+		},
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("OnUnit saw %d units, want 2", len(seen))
+	}
+
+	// Resume against the completed checkpoint: every unit replays from it,
+	// so the callback must stay silent.
+	ck2, err := robust.LoadCampaignCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	c2 := &Campaign{
+		Scenario: s, Seeds: []int64{1},
+		Spaces: Spaces()[:1], Methods: []Method{TCAD19, DAC19},
+		Checkpoint: ck2,
+		OnUnit:     func(Unit, UnitResult, *Outcome) error { calls++; return nil },
+	}
+	if _, err := c2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("OnUnit fired %d times on a fully replayed campaign", calls)
+	}
+}
+
+// TestCampaignGate proves the gate stops a campaign at the next unit
+// boundary (the graceful-drain path) and that completed units are never
+// gated on resume.
+func TestCampaignGate(t *testing.T) {
+	s := miniScenario(t)
+	path := filepath.Join(t.TempDir(), "c.ckpt.json")
+	ck, err := robust.LoadCampaignCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain := errors.New("draining")
+	started := 0
+	c := &Campaign{
+		Scenario: s, Seeds: []int64{1},
+		Spaces: Spaces()[:1], Methods: []Method{TCAD19, DAC19},
+		Checkpoint: ck,
+		Gate: func(Unit) error {
+			started++
+			if started > 1 {
+				return drain
+			}
+			return nil
+		},
+	}
+	if _, err := c.Run(); !errors.Is(err, drain) {
+		t.Fatalf("gated campaign returned %v, want the gate error", err)
+	}
+
+	// Resume with an always-open gate: the completed first unit replays
+	// without consulting it, the second runs fresh, and the campaign
+	// finishes.
+	ck2, err := robust.LoadCampaignCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := 0
+	c2 := &Campaign{
+		Scenario: s, Seeds: []int64{1},
+		Spaces: Spaces()[:1], Methods: []Method{TCAD19, DAC19},
+		Checkpoint: ck2,
+		Gate:       func(Unit) error { gated++; return nil },
+	}
+	if _, err := c2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gated != 1 {
+		t.Fatalf("resume gated %d units, want 1 (completed units bypass the gate)", gated)
+	}
+}

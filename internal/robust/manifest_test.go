@@ -1,0 +1,162 @@
+package robust
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJobManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := JobManifestPath(dir)
+	m := NewJobManifest(path)
+
+	id, err := m.NextID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "j1" {
+		t.Fatalf("first ID = %q, want j1", id)
+	}
+	rec := JobRecord{
+		ID: id, Client: "alice", Status: "queued",
+		Spec: json.RawMessage(`{"scenario":"table2"}`), Checkpoint: "job-j1.ckpt.json",
+	}
+	if err := m.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStatus(id, "running", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetGolden(id, map[string][][]float64{"Area-Delay": {{1, 2}, {3, 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	unit := JobUnit{Space: "Area-Delay", Method: "PPATuner", Seed: 1, HV: 0.5, ADRS: 0.1, Runs: 40, Front: [][]float64{{1, 2}}}
+	if err := m.SetUnit(id, "k|Area-Delay|PPATuner|seed=1", unit); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh load (the restart path) must see everything, including the
+	// ID high-water mark.
+	m2, err := LoadJobManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m2.Get(id)
+	if !ok {
+		t.Fatalf("job %s missing after reload", id)
+	}
+	if got.Status != "running" || got.Client != "alice" {
+		t.Errorf("reloaded record = %+v", got)
+	}
+	// MarshalIndent may reflow the raw spec's whitespace; the JSON value
+	// must survive untouched.
+	var spec struct {
+		Scenario string `json:"scenario"`
+	}
+	if err := json.Unmarshal(got.Spec, &spec); err != nil || spec.Scenario != "table2" {
+		t.Errorf("reloaded spec = %q (%v)", got.Spec, err)
+	}
+	u := got.Units["k|Area-Delay|PPATuner|seed=1"]
+	if u.HV != 0.5 || u.ADRS != 0.1 || u.Runs != 40 || len(u.Front) != 1 {
+		t.Errorf("reloaded unit = %+v", u)
+	}
+	if len(got.Golden["Area-Delay"]) != 2 {
+		t.Errorf("reloaded golden = %+v", got.Golden)
+	}
+	id2, err := m2.NextID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != "j2" {
+		t.Fatalf("ID after reload = %q, want j2 (high-water mark must persist)", id2)
+	}
+}
+
+func TestJobManifestOrdering(t *testing.T) {
+	m := NewJobManifest("")
+	for _, id := range []string{"j10", "j2", "j1"} {
+		if err := m.Put(JobRecord{ID: id, Status: "queued", Spec: json.RawMessage(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs := m.Jobs()
+	want := []string{"j1", "j2", "j10"}
+	for i, rec := range jobs {
+		if rec.ID != want[i] {
+			t.Fatalf("Jobs()[%d] = %s, want %s (numeric ID order)", i, rec.ID, want[i])
+		}
+	}
+}
+
+func TestJobManifestRejectsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.json")
+	if err := os.WriteFile(path, []byte(`{"version":3,"kind":"campaign"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJobManifest(path); err == nil {
+		t.Fatal("loading a campaign checkpoint as a job manifest must fail")
+	}
+}
+
+func TestJobManifestMissingFileIsEmpty(t *testing.T) {
+	m, err := LoadJobManifest(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(m.Jobs()); n != 0 {
+		t.Fatalf("fresh manifest has %d jobs", n)
+	}
+	if err := m.SetStatus("j1", "running", ""); err == nil {
+		t.Fatal("SetStatus on an unknown job must fail")
+	}
+}
+
+func TestJobManifestDelete(t *testing.T) {
+	m := NewJobManifest(JobManifestPath(t.TempDir()))
+	if err := m.Put(JobRecord{ID: "j1", Status: "queued", Spec: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get("j1"); ok {
+		t.Fatal("job survived Delete")
+	}
+	if err := m.Delete("j1"); err != nil {
+		t.Fatal("deleting an absent job must be a no-op, got error")
+	}
+}
+
+// TestJobManifestDeterministicBytes is the byte-identity contract the
+// serve-proof CI job builds on: the same logical state written through any
+// interleaving of mutations produces identical bytes.
+func TestJobManifestDeterministicBytes(t *testing.T) {
+	write := func(dir string, order []string) []byte {
+		t.Helper()
+		m := NewJobManifest(JobManifestPath(dir))
+		if _, err := m.NextID(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.NextID(); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range order {
+			if err := m.Put(JobRecord{ID: id, Client: "c", Status: "done", Spec: json.RawMessage(`{}`)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := os.ReadFile(JobManifestPath(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := write(t.TempDir(), []string{"j1", "j2"})
+	b := write(t.TempDir(), []string{"j2", "j1"})
+	if string(a) != string(b) {
+		t.Fatalf("manifest bytes depend on write order:\n%s\nvs\n%s", a, b)
+	}
+}

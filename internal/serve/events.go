@@ -1,0 +1,49 @@
+package serve
+
+import "sync"
+
+// eventLog is one job's append-only progress stream. Readers poll with a
+// sequence cursor; writers broadcast by closing-and-replacing the changed
+// channel, so any number of SSE streams and long-polls can wait on one
+// append without per-subscriber bookkeeping. The log is bounded by the
+// job's campaign size (one event per unit plus a handful of status
+// transitions), so entries are kept for the job's lifetime and a
+// reconnecting client can always replay from seq 0.
+type eventLog struct {
+	mu      sync.Mutex
+	events  []Event
+	changed chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{changed: make(chan struct{})}
+}
+
+// append assigns the next sequence number, records the event, and wakes
+// every waiter.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	e.Seq = len(l.events) + 1
+	l.events = append(l.events, e)
+	close(l.changed)
+	l.changed = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// after returns the events with Seq > since, plus the channel that will be
+// closed on the next append — snapshot first, then wait, so no append can
+// fall between the two.
+func (l *eventLog) after(since int) ([]Event, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ch := l.changed
+	if since >= len(l.events) {
+		return nil, ch
+	}
+	if since < 0 {
+		since = 0
+	}
+	out := make([]Event, len(l.events)-since)
+	copy(out, l.events[since:])
+	return out, ch
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"ppatuner/internal/clock"
+)
+
+// rateLimiter is a per-client token bucket on an injected clock: rate
+// tokens/second refill up to burst, one token per submission. Buckets are
+// created full on first sight of a client. No goroutines, no sleeps —
+// refill is computed lazily from elapsed time, so the limiter is exact on
+// a fake clock.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+	clk   clock.Clock
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(clk clock.Clock, rate float64, burst int) *rateLimiter {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), clk: clk, buckets: map[string]*bucket{}}
+}
+
+// allow consumes one token from client's bucket, reporting false when the
+// bucket is empty. A non-positive rate disables limiting.
+func (l *rateLimiter) allow(client string) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	now := l.clk.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
