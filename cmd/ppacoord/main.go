@@ -12,6 +12,7 @@
 //	         [-listen ADDR -workers-remote N]
 //	         [-lease D] [-requeue D]
 //	         [-checkpoint FILE [-resume]] [-json FILE]
+//	         [-standby] [-beacon FILE] [-beacon-every D] [-takeover-after D]
 //
 // -workers spawns N local ppaworker processes speaking the protocol on
 // their stdio pipes; -listen additionally (or instead) accepts remote
@@ -19,16 +20,32 @@
 // SIGKILLs spawned workers mid-campaign (worker W at T after campaign
 // start) to rehearse lease reclaim: the killed worker's unit is parked,
 // requeued and re-granted under a higher lease epoch, and any result the
-// dead epoch might still deliver is rejected as a zombie.
+// dead epoch might still deliver is rejected as a zombie. Two special
+// targets rehearse coordinator death instead: "coord@T" SIGKILLs this
+// process itself at T, and "split@T" mutes its beacon at T while it keeps
+// running (the split-brain drill — checkpoint fencing deposes it once a
+// standby adopts).
+//
+// High availability: with -checkpoint, every run adopts the checkpoint
+// under a fresh coordinator generation (the fencing token stamped into
+// all of its writes), and announces liveness into the -beacon file. A
+// second ppacoord started with -standby on the same checkpoint and beacon
+// waits until the beacon has been silent for -takeover-after, then adopts
+// the checkpoint — fencing the old primary's in-flight writes — re-arms
+// the persisted leases, and finishes the campaign. Point workers at both
+// addresses (ppaworker -connect primary,standby) and they reconnect to
+// whichever coordinator is alive; results are byte-identical to an
+// undisturbed single-process run.
 //
 // With -table both and only remote workers, workers exit after the first
-// table's shutdown broadcast; run them under a supervisor that reconnects,
-// or prefer -workers for local campaigns.
+// table's shutdown broadcast unless they run with -rejoin; prefer
+// -workers for local campaigns.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +56,7 @@ import (
 	"time"
 
 	"ppatuner"
+	"ppatuner/internal/clock"
 	"ppatuner/internal/eval"
 	"ppatuner/internal/pdtool/chaos"
 	"ppatuner/internal/robust"
@@ -70,6 +88,10 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "campaign checkpoint file: completed cells, partial observations and the lease ledger persist there")
 	resume := flag.Bool("resume", false, "continue from an existing -checkpoint file (without it, a pre-existing file is an error)")
 	jsonPath := flag.String("json", "", "write the machine-readable TABLES.json document to this path")
+	standby := flag.Bool("standby", false, "wait for the primary's beacon to fall silent, then adopt the checkpoint and finish the campaign (implies -resume)")
+	beaconPath := flag.String("beacon", "", "liveness beacon file shared between primary and standby (default: <checkpoint>.beacon)")
+	beaconEvery := flag.Duration("beacon-every", 2*time.Second, "how often the primary announces into the beacon")
+	takeoverAfter := flag.Duration("takeover-after", 15*time.Second, "beacon silence a standby requires before promoting")
 	flag.Parse()
 
 	fail := func(code int, err error) {
@@ -91,6 +113,33 @@ func main() {
 	if len(faults.Kills) > 0 && *workers <= 0 {
 		fail(2, fmt.Errorf("-kill schedules SIGKILLs for spawned workers; it needs -workers"))
 	}
+	if *ckptPath == "" {
+		if *standby {
+			fail(2, fmt.Errorf("-standby adopts a shared -checkpoint; pass one"))
+		}
+		if faults.SplitBrain {
+			fail(2, fmt.Errorf("-kill split@T mutes the beacon of a checkpointed run; pass -checkpoint"))
+		}
+	}
+	if *beaconPath == "" && *ckptPath != "" {
+		*beaconPath = *ckptPath + ".beacon"
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var beacon *shard.Beacon
+	if *beaconPath != "" {
+		beacon = shard.NewBeacon(*beaconPath)
+	}
+	if *standby {
+		fmt.Fprintf(os.Stderr, "ppacoord: standby: watching beacon %s (promoting after %v of silence)\n", *beaconPath, *takeoverAfter)
+		if err := beacon.Watch(ctx, clock.Real(), 0, *takeoverAfter); err != nil {
+			fail(1, err)
+		}
+		fmt.Fprintf(os.Stderr, "ppacoord: standby: beacon silent for %v, promoting\n", *takeoverAfter)
+		*resume = true
+	}
 
 	var ck *ppatuner.CampaignCheckpoint
 	resumedCells := 0
@@ -105,10 +154,31 @@ func main() {
 			fail(1, err)
 		}
 		resumedCells = ck.Cells()
+		gen, err := ck.Adopt()
+		if err != nil {
+			fail(1, err)
+		}
+		fmt.Fprintf(os.Stderr, "ppacoord: adopted checkpoint %s at generation %d\n", *ckptPath, gen)
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+	// Coordinator-level chaos arms from adoption: coord@T self-SIGKILLs
+	// (the fail-over drill a standby must survive), split@T mutes the
+	// beacon while this process keeps serving (the split-brain drill
+	// checkpoint fencing must contain).
+	if faults.CoordKill {
+		time.AfterFunc(faults.CoordKillAt, func() {
+			fmt.Fprintf(os.Stderr, "ppacoord: chaos: SIGKILL self (pid %d)\n", os.Getpid())
+			if proc, err := os.FindProcess(os.Getpid()); err == nil {
+				_ = proc.Kill()
+			}
+		})
+	}
+	if faults.SplitBrain {
+		time.AfterFunc(faults.SplitBrainAt, func() {
+			fmt.Fprintf(os.Stderr, "ppacoord: chaos: muting beacon %s (split-brain)\n", *beaconPath)
+			beacon.Mute()
+		})
+	}
 
 	// One conns stream for the whole process: remote workers are forwarded
 	// in as they dial, local ones are pushed at each campaign start.
@@ -142,6 +212,9 @@ func main() {
 			LeaseTTL:     *lease,
 			RequeueDelay: *requeue,
 			Log:          flog,
+			AdoptLeases:  *standby,
+			Beacon:       beacon,
+			BeaconEvery:  *beaconEvery,
 		})
 		if err != nil {
 			fail(1, err)
@@ -150,6 +223,12 @@ func main() {
 		tbl, err := co.Run(ctx, conns)
 		for _, cmd := range cmds {
 			_ = cmd.Wait() // killed workers exit non-zero by design
+		}
+		if errors.Is(err, shard.ErrDeposed) {
+			// A newer generation adopted the checkpoint out from under us:
+			// every result is safe with the new primary, so stand down
+			// loudly but without masquerading as a campaign failure.
+			fail(3, fmt.Errorf("deposed: %v", err))
 		}
 		if err != nil {
 			fail(1, err)
@@ -169,6 +248,14 @@ func main() {
 	}
 
 	if ck != nil {
+		// Retire clears the generation stamp so the finished checkpoint is
+		// byte-identical to one a never-adopted single-process run wrote.
+		if err := ck.Retire(); err != nil {
+			if errors.Is(err, robust.ErrFenced) {
+				fail(3, fmt.Errorf("deposed: %v", err))
+			}
+			fail(1, err)
+		}
 		fmt.Fprintf(os.Stderr, "checkpoint: resumed %d completed cells (now %d cells in %s)\n", resumedCells, ck.Cells(), *ckptPath)
 	}
 	fmt.Fprintf(os.Stderr, "failures: %s\n", flog.Summary())

@@ -34,6 +34,7 @@ func main() {
 	workers := flag.Int("workers", 1, "default per-campaign unit concurrency")
 	rate := flag.Float64("rate", 0, "per-client submissions per second (0 disables rate limiting)")
 	burst := flag.Int("burst", 5, "per-client submission burst")
+	retain := flag.Duration("retain", 0, "garbage-collect done/failed/cancelled jobs and their checkpoints after this long in a terminal state (0 keeps everything)")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
 	if *state == "" {
@@ -48,6 +49,7 @@ func main() {
 		UnitWorkers: *workers,
 		Rate:        *rate,
 		Burst:       *burst,
+		Retain:      *retain,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf

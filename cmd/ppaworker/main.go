@@ -7,8 +7,21 @@
 //
 // Usage:
 //
-//	ppaworker [-id NAME] [-connect ADDR] [-heartbeat D]
+//	ppaworker [-id NAME] [-connect ADDR[,ADDR...]] [-dial-timeout D] [-rejoin]
+//	          [-heartbeat D]
 //	          [-outage PERIOD/DOWN] [-breaker N] [-max-outage D] [-chaos-seed N]
+//
+// With -connect the worker survives coordinator fail-over: the initial
+// dial and every reconnection retry with capped exponential backoff
+// (deterministic jitter salted by the worker ID), rotating through the
+// address list — primary first, standby next — until -dial-timeout of
+// continuous failure. On reconnecting it re-introduces itself under the
+// new coordinator's generation, names the lease it still holds so the
+// unit is re-attached rather than double-granted, and re-streams every
+// unacknowledged observation. -rejoin keeps the process alive across
+// clean campaign shutdowns (multi-table runs): it redials and serves the
+// next campaign, reusing cached benchmark scenarios instead of spending
+// ~30s regenerating them.
 //
 // The outage flags mirror the tables command: they inject correlated
 // downtime into this worker's evaluation path and arm a park-mode breaker,
@@ -23,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ppatuner"
@@ -32,8 +46,10 @@ import (
 )
 
 func main() {
-	id := flag.String("id", "", "worker name used in lease records and coordinator logs (default: assigned by the coordinator)")
-	connect := flag.String("connect", "", "coordinator TCP address; empty speaks the protocol on stdin/stdout")
+	id := flag.String("id", "", "worker name used in lease records and coordinator logs (default: w-<pid> with -connect, else assigned by the coordinator)")
+	connect := flag.String("connect", "", "coordinator TCP address(es), comma-separated in preference order; empty speaks the protocol on stdin/stdout")
+	dialTimeout := flag.Duration("dial-timeout", 2*time.Minute, "give up after this much continuous dial failure (set past the standby's -takeover-after)")
+	rejoin := flag.Bool("rejoin", false, "after a clean campaign shutdown, redial and serve the next campaign instead of exiting")
 	heartbeat := flag.Duration("heartbeat", 0, "lease renewal period while a unit computes (0 derives a third of the granted TTL)")
 	outageSpec := flag.String("outage", "", "inject correlated downtime windows: PERIOD/DOWN (e.g. 60s/10s), empty or \"off\" disables")
 	breakerN := flag.Int("breaker", 0, "circuit breaker: trip after N consecutive transient failures and park the unit (0 disables)")
@@ -54,26 +70,67 @@ func main() {
 		os.Exit(2)
 	}
 
-	var conn shard.Conn
-	if *connect != "" {
-		conn, err = transport.Dial(*connect)
+	// The scenario cache outlives individual RunWorker sessions, so a
+	// worker that rejoins or reconnects after a coordinator fail-over
+	// skips the ~30s benchmark regeneration it already paid for.
+	cache := shard.NewScenarioCache(nil)
+	opts := shard.WorkerOptions{
+		ID:             *id,
+		Scenario:       cache.Resolve,
+		HeartbeatEvery: *heartbeat,
+		Run:            eval.RunOpts{Wrap: wrap, GP: gpSpec},
+	}
+
+	if *connect == "" {
+		// Stdio workers live exactly as long as their pipe; reconnection
+		// is meaningless when the far end owns this process.
+		conn := transport.Stream(os.Stdin, os.Stdout)
+		defer conn.Close()
+		if err := shard.RunWorker(context.Background(), conn, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "ppaworker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if opts.ID == "" {
+		// Reconnection re-attaches a lease by (epoch, holder), so a remote
+		// worker needs an identity that survives redials.
+		opts.ID = fmt.Sprintf("w-%d", os.Getpid())
+	}
+	addrs := strings.Split(*connect, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	// Rotate through the address list across dial attempts: the primary
+	// first, the standby next. Reconn serialises Dial calls, so the bare
+	// counter is safe.
+	next := 0
+	dial := func() (shard.Conn, error) {
+		addr := addrs[next%len(addrs)]
+		next++
+		return transport.Dial(addr)
+	}
+	ctx := context.Background()
+	for {
+		conn, err := shard.Connect(ctx, shard.ReconnOptions{
+			Dial:    dial,
+			Backoff: shard.Backoff{Salt: opts.ID},
+			MaxDown: *dialTimeout,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ppaworker: %v\n", err)
 			os.Exit(1)
 		}
-	} else {
-		conn = transport.Stream(os.Stdin, os.Stdout)
-	}
-	defer conn.Close()
-
-	err = shard.RunWorker(context.Background(), conn, shard.WorkerOptions{
-		ID:             *id,
-		HeartbeatEvery: *heartbeat,
-		Run:            eval.RunOpts{Wrap: wrap, GP: gpSpec},
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ppaworker: %v\n", err)
-		os.Exit(1)
+		err = shard.RunWorker(ctx, conn, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppaworker: %v\n", err)
+			os.Exit(1)
+		}
+		if !*rejoin {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "ppaworker: campaign over, rejoining (scenarios cached)\n")
 	}
 }
 

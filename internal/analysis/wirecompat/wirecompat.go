@@ -34,7 +34,9 @@ import (
 // type names whose reachable JSON surface is locked: the shard protocol
 // envelope and the two robust checkpoint file envelopes.
 var DefaultRoots = map[string][]string{
-	"ppatuner/internal/shard":  {"Msg"},
+	// Msg is the worker protocol; BeaconState is the fail-over liveness
+	// file a standby of a *different build* may read.
+	"ppatuner/internal/shard":  {"Msg", "BeaconState"},
 	"ppatuner/internal/robust": {"checkpointFile", "campaignFile", "jobsFile"},
 	// The job server's HTTP API: request/response documents plus the SSE
 	// event framing. Deployed clients hold the other end of these schemas.

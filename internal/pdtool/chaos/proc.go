@@ -35,11 +35,22 @@ type ProcFaults struct {
 	// DuplicateResults delivers every result message twice, modelling a
 	// retransmit layer; merge must be idempotent.
 	DuplicateResults bool
+	// CoordKill SIGKILLs the primary coordinator itself at CoordKillAt —
+	// the fail-over rehearsal: a standby watching the beacon must adopt
+	// the checkpoint and finish the campaign with identical results.
+	CoordKill   bool
+	CoordKillAt time.Duration
+	// SplitBrain mutes the primary's beacon at SplitBrainAt while it keeps
+	// running — the standby promotes against a live primary, and checkpoint
+	// fencing must depose the old one instead of letting both write.
+	SplitBrain   bool
+	SplitBrainAt time.Duration
 }
 
 // Enabled reports whether the spec injects anything.
 func (p ProcFaults) Enabled() bool {
-	return len(p.Kills) > 0 || len(p.DropHeartbeats) > 0 || p.ResultDelay > 0 || p.DuplicateResults
+	return len(p.Kills) > 0 || len(p.DropHeartbeats) > 0 || p.ResultDelay > 0 ||
+		p.DuplicateResults || p.CoordKill || p.SplitBrain
 }
 
 // validate rejects malformed specs at construction.
@@ -56,6 +67,12 @@ func (p ProcFaults) validate() error {
 	}
 	if p.ResultDelay < 0 {
 		return fmt.Errorf("chaos: negative result delay %v", p.ResultDelay)
+	}
+	if p.CoordKill && p.CoordKillAt < 0 {
+		return fmt.Errorf("chaos: negative coordinator kill time %v", p.CoordKillAt)
+	}
+	if p.SplitBrain && p.SplitBrainAt < 0 {
+		return fmt.Errorf("chaos: negative split-brain time %v", p.SplitBrainAt)
 	}
 	return nil
 }
@@ -91,9 +108,15 @@ func (p ProcFaults) String() string {
 	if !p.Enabled() {
 		return "off"
 	}
-	parts := make([]string, 0, len(p.Kills)+2)
+	parts := make([]string, 0, len(p.Kills)+4)
 	for _, k := range p.Kills {
 		parts = append(parts, fmt.Sprintf("%d@%v", k.Worker, k.At))
+	}
+	if p.CoordKill {
+		parts = append(parts, fmt.Sprintf("coord@%v", p.CoordKillAt))
+	}
+	if p.SplitBrain {
+		parts = append(parts, fmt.Sprintf("split@%v", p.SplitBrainAt))
 	}
 	if len(p.DropHeartbeats) > 0 {
 		parts = append(parts, fmt.Sprintf("drop-hb:%d", len(p.DropHeartbeats)))
@@ -108,8 +131,11 @@ func (p ProcFaults) String() string {
 }
 
 // ParseKillSchedule reads the CLI spelling "W@T[,W@T...]" (e.g. "1@8s,0@30s":
-// SIGKILL worker 1 eight seconds in, worker 0 at thirty). The empty string
-// (or "off") is the disabled schedule.
+// SIGKILL worker 1 eight seconds in, worker 0 at thirty). Two special
+// targets address the coordinator itself: "coord@T" SIGKILLs the primary
+// coordinator at T, and "split@T" mutes its beacon at T without killing it
+// (the split-brain rehearsal). With several coord@ or split@ entries the
+// earliest wins. The empty string (or "off") is the disabled schedule.
 func ParseKillSchedule(spec string) (ProcFaults, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" || spec == "off" {
@@ -120,11 +146,7 @@ func ParseKillSchedule(spec string) (ProcFaults, error) {
 		part = strings.TrimSpace(part)
 		worker, at, ok := strings.Cut(part, "@")
 		if !ok {
-			return ProcFaults{}, fmt.Errorf("chaos: kill spec %q wants W@T (e.g. 1@8s)", part)
-		}
-		w, err := strconv.Atoi(strings.TrimSpace(worker))
-		if err != nil || w < 0 {
-			return ProcFaults{}, fmt.Errorf("chaos: kill spec %q: worker index %q is not a non-negative integer", part, worker)
+			return ProcFaults{}, fmt.Errorf("chaos: kill spec %q wants W@T (e.g. 1@8s, coord@30s, split@40s)", part)
 		}
 		t, err := time.ParseDuration(strings.TrimSpace(at))
 		if err != nil {
@@ -133,7 +155,22 @@ func ParseKillSchedule(spec string) (ProcFaults, error) {
 		if t < 0 {
 			return ProcFaults{}, fmt.Errorf("chaos: kill spec %q wants a non-negative time", part)
 		}
-		p.Kills = append(p.Kills, WorkerKill{Worker: w, At: t})
+		switch target := strings.TrimSpace(worker); target {
+		case "coord":
+			if !p.CoordKill || t < p.CoordKillAt {
+				p.CoordKill, p.CoordKillAt = true, t
+			}
+		case "split":
+			if !p.SplitBrain || t < p.SplitBrainAt {
+				p.SplitBrain, p.SplitBrainAt = true, t
+			}
+		default:
+			w, err := strconv.Atoi(target)
+			if err != nil || w < 0 {
+				return ProcFaults{}, fmt.Errorf("chaos: kill spec %q: worker %q is not a non-negative index, coord, or split", part, worker)
+			}
+			p.Kills = append(p.Kills, WorkerKill{Worker: w, At: t})
+		}
 	}
 	if err := p.validate(); err != nil {
 		return ProcFaults{}, err

@@ -122,3 +122,66 @@ func TestProcFaultsValidate(t *testing.T) {
 		t.Errorf("zero ProcFaults String() = %q, want off", s)
 	}
 }
+
+func TestParseKillScheduleCoordinatorTargets(t *testing.T) {
+	p, err := ParseKillSchedule("split@40s, coord@75s, 1@8s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CoordKill || p.CoordKillAt != 75*time.Second {
+		t.Fatalf("coord kill = (%v, %v), want 75s", p.CoordKill, p.CoordKillAt)
+	}
+	if !p.SplitBrain || p.SplitBrainAt != 40*time.Second {
+		t.Fatalf("split-brain = (%v, %v), want 40s", p.SplitBrain, p.SplitBrainAt)
+	}
+	if len(p.Kills) != 1 || p.Kills[0] != (WorkerKill{Worker: 1, At: 8 * time.Second}) {
+		t.Fatalf("worker kills = %+v", p.Kills)
+	}
+	if !p.Enabled() {
+		t.Fatal("coordinator schedule should be enabled")
+	}
+	for _, want := range []string{"coord@1m15s", "split@40s", "1@8s"} {
+		if s := p.String(); !strings.Contains(s, want) {
+			t.Errorf("String() = %q, want substring %q", s, want)
+		}
+	}
+
+	// Duplicate targets: the earliest time wins, matching worker kills.
+	p, err = ParseKillSchedule("coord@30s,coord@10s,split@20s,split@50s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CoordKillAt != 10*time.Second || p.SplitBrainAt != 20*time.Second {
+		t.Fatalf("duplicate targets = coord@%v split@%v, want earliest (10s, 20s)", p.CoordKillAt, p.SplitBrainAt)
+	}
+
+	// A coordinator-only schedule counts as enabled even with no worker
+	// kills.
+	if p, err := ParseKillSchedule("coord@5s"); err != nil || !p.Enabled() {
+		t.Fatalf("coord-only schedule = %+v, %v", p, err)
+	}
+	if p, err := ParseKillSchedule("split@5s"); err != nil || !p.Enabled() {
+		t.Fatalf("split-only schedule = %+v, %v", p, err)
+	}
+
+	for _, bad := range []string{"coord@-5s", "split@-5s", "coord@x", "boss@5s"} {
+		if _, err := ParseKillSchedule(bad); err == nil {
+			t.Errorf("ParseKillSchedule(%q) should fail", bad)
+		}
+	}
+}
+
+func TestProcFaultsValidateCoordinatorTimes(t *testing.T) {
+	for i, p := range []ProcFaults{
+		{CoordKill: true, CoordKillAt: -time.Second},
+		{SplitBrain: true, SplitBrainAt: -time.Second},
+	} {
+		if err := p.validate(); err == nil {
+			t.Errorf("case %d: %+v should fail validation", i, p)
+		}
+	}
+	ok := ProcFaults{CoordKill: true, CoordKillAt: 75 * time.Second, SplitBrain: true, SplitBrainAt: 40 * time.Second}
+	if err := ok.validate(); err != nil {
+		t.Errorf("valid coordinator faults rejected: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package robust
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,12 @@ import (
 
 	"ppatuner/internal/core"
 )
+
+// ErrFenced reports a checkpoint mutation rejected because a newer
+// coordinator generation has adopted the file. A deposed primary that keeps
+// writing after a standby takes over sees this error instead of corrupting
+// the new owner's state; the only correct reaction is to stop coordinating.
+var ErrFenced = errors.New("robust: checkpoint write fenced by a newer coordinator generation")
 
 // CampaignCell is the persisted result of one completed campaign work unit
 // (one scenario × objective-space × method × seed run).
@@ -52,17 +59,24 @@ type LeaseRecord struct {
 //   - lease records (schema v3): for distributed campaigns, each in-flight
 //     unit's highest granted lease epoch and holder, so coordinator
 //     restarts preserve epoch monotonicity and late results from dead
-//     workers stay detectable.
+//     workers stay detectable;
+//   - a coordinator generation (schema v4): a fencing token adopted via
+//     Adopt by each coordinator run. Once adopted, every mutating save
+//     first checks the generation recorded on disk and fails with
+//     ErrFenced when a higher one appears — a deposed primary lingering
+//     after a standby takeover is rejected rather than applied.
 //
 // Completion clears a unit's partial state, parked mark and lease record
-// alike, so a finished campaign's file carries no trace of how bumpy the
-// road was — which is exactly what makes a distributed, fault-ridden run's
-// final checkpoint byte-identical to a single-process fault-free one.
+// alike, and Retire clears the generation once the campaign is done, so a
+// finished campaign's file carries no trace of how bumpy the road was —
+// which is exactly what makes a distributed, fault-ridden, failed-over
+// run's final checkpoint byte-identical to a single-process fault-free one.
 //
 // Every mutation persists via write-to-temp + atomic rename, so a kill
 // mid-write never corrupts the file. All methods are safe for concurrent
-// use by parallel campaign workers. Version-2 files (no lease ledger) load
-// transparently and are migrated to v3 on the next save.
+// use by parallel campaign workers. Version-2 files (no lease ledger) and
+// version-3 files (no generation) load transparently and are migrated to
+// v4 on the next save.
 type CampaignCheckpoint struct {
 	mu       sync.Mutex
 	path     string
@@ -70,8 +84,12 @@ type CampaignCheckpoint struct {
 	partial  map[string]*partialState
 	parked   map[string]bool
 	leases   map[string]LeaseRecord
-	replayed int
-	fresh    int
+	// generation is the fencing token this handle writes under. Zero means
+	// the handle never adopted (single-process campaigns, serve jobs) and
+	// saves are unfenced, preserving pre-v4 behaviour.
+	generation uint64
+	replayed   int
+	fresh      int
 }
 
 // partialState is the in-memory mid-run record of one unit.
@@ -106,14 +124,24 @@ type campaignFile struct {
 	// Leases (schema v3) records each in-flight unit's lease high-water
 	// mark. Like Parked, completion clears the record.
 	Leases map[string]LeaseRecord `json:"leases,omitempty"`
+	// Generation (schema v4) is the coordinator fencing token: the highest
+	// generation that ever adopted this campaign. Mutating saves from a
+	// handle holding a lower generation are rejected with ErrFenced.
+	// Retire clears it, so a completed campaign's file omits the field.
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 const campaignKind = "campaign"
 
 // campaignCheckpointVersion is the schema version written by saveLocked.
-// Version 2 (no lease ledger) loads transparently; the per-run Checkpoint
-// keeps its own checkpointVersion.
-const campaignCheckpointVersion = 3
+// Version 2 (no lease ledger) and version 3 (no coordinator generation)
+// load transparently; the per-run Checkpoint keeps its own
+// checkpointVersion.
+const campaignCheckpointVersion = 4
+
+// campaignCheckpointVersionV3 is the previous campaign schema (lease
+// ledger, no generation), still accepted on load.
+const campaignCheckpointVersionV3 = 3
 
 // NewCampaignCheckpoint builds an empty campaign checkpoint persisting to
 // path. An empty path keeps it in memory only (useful in tests).
@@ -144,16 +172,30 @@ func LoadCampaignCheckpoint(path string) (*CampaignCheckpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("robust: read campaign checkpoint: %w", err)
 	}
+	if err := c.restoreLocked(data); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// restoreLocked replaces the in-memory state with the parsed file contents.
+// Callers hold c.mu (or own the checkpoint exclusively, as in load).
+func (c *CampaignCheckpoint) restoreLocked(data []byte) error {
 	var f campaignFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("robust: parse campaign checkpoint %s: %w", path, err)
+		return fmt.Errorf("robust: parse campaign checkpoint %s: %w", c.path, err)
 	}
 	if f.Kind != campaignKind {
-		return nil, fmt.Errorf("robust: %s is not a campaign checkpoint (kind %q); per-run observation checkpoints load with LoadCheckpoint", path, f.Kind)
+		return fmt.Errorf("robust: %s is not a campaign checkpoint (kind %q); per-run observation checkpoints load with LoadCheckpoint", c.path, f.Kind)
 	}
-	if f.Version != campaignCheckpointVersion && f.Version != checkpointVersion {
-		return nil, fmt.Errorf("robust: campaign checkpoint %s has unsupported version %d", path, f.Version)
+	if f.Version != campaignCheckpointVersion && f.Version != campaignCheckpointVersionV3 && f.Version != checkpointVersion {
+		return fmt.Errorf("robust: campaign checkpoint %s has unsupported version %d", c.path, f.Version)
 	}
+	c.cells = make(map[string]CampaignCell, len(f.Cells))
+	c.partial = map[string]*partialState{}
+	c.parked = map[string]bool{}
+	c.leases = make(map[string]LeaseRecord, len(f.Leases))
+	c.generation = f.Generation
 	for key, cell := range f.Cells {
 		c.cells[key] = cell
 	}
@@ -161,7 +203,7 @@ func LoadCampaignCheckpoint(path string) (*CampaignCheckpoint, error) {
 		ps := &partialState{values: map[int][]float64{}, randState: p.RandState, iters: p.Iters}
 		for _, r := range p.Runs {
 			if err := ValidateVector(r.QoR, 0); err != nil {
-				return nil, fmt.Errorf("robust: campaign checkpoint %s, cell %q, entry %d: %v", path, key, r.Index, err)
+				return fmt.Errorf("robust: campaign checkpoint %s, cell %q, entry %d: %v", c.path, key, r.Index, err)
 			}
 			if _, dup := ps.values[r.Index]; dup {
 				continue
@@ -177,7 +219,112 @@ func LoadCampaignCheckpoint(path string) (*CampaignCheckpoint, error) {
 	for key, lr := range f.Leases {
 		c.leases[key] = lr
 	}
-	return c, nil
+	return nil
+}
+
+// Adopt claims the checkpoint for a new coordinator run: under the file
+// lock it re-reads the state on disk (a standby promoting long after its
+// boot-time load must not resurrect a stale view), bumps the persisted
+// generation past everything ever recorded, and arms fencing on this
+// handle — from here on, every mutating save verifies that no higher
+// generation has appeared on disk and fails with ErrFenced if one has.
+// It returns the adopted generation. On an in-memory checkpoint Adopt
+// only increments the local generation (nothing to fence against).
+func (c *CampaignCheckpoint) Adopt() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.path == "" {
+		c.generation++
+		return c.generation, nil
+	}
+	unlock, err := lockFile(c.path)
+	if err != nil {
+		return 0, fmt.Errorf("robust: adopt campaign checkpoint: %w", err)
+	}
+	defer unlock()
+	data, err := os.ReadFile(c.path)
+	switch {
+	case os.IsNotExist(err):
+		// First adoption of a fresh campaign: nothing on disk to merge.
+	case err != nil:
+		return 0, fmt.Errorf("robust: adopt campaign checkpoint: %w", err)
+	default:
+		if err := c.restoreLocked(data); err != nil {
+			return 0, err
+		}
+	}
+	c.generation++
+	if err := c.writeLocked(); err != nil {
+		return 0, err
+	}
+	return c.generation, nil
+}
+
+// Generation returns the fencing token this handle writes under (zero
+// until Adopt).
+func (c *CampaignCheckpoint) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.generation
+}
+
+// Retire releases an adopted generation once the campaign is complete: the
+// file is rewritten without the generation field, so a finished campaign's
+// checkpoint is byte-identical to one produced by a coordinator that never
+// needed fencing. Retiring while deposed fails with ErrFenced like any
+// other write. A never-adopted handle retires as a no-op.
+func (c *CampaignCheckpoint) Retire() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.generation == 0 {
+		return nil
+	}
+	if c.path == "" {
+		c.generation = 0
+		return nil
+	}
+	unlock, err := lockFile(c.path)
+	if err != nil {
+		return fmt.Errorf("robust: retire campaign checkpoint: %w", err)
+	}
+	defer unlock()
+	if err := c.checkFence(); err != nil {
+		return err
+	}
+	c.generation = 0
+	return c.writeLocked()
+}
+
+// diskGeneration reads the generation currently recorded on disk (zero for
+// a missing file). Callers hold the file lock.
+func (c *CampaignCheckpoint) diskGeneration() (uint64, error) {
+	data, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("robust: read campaign checkpoint generation: %w", err)
+	}
+	var f struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("robust: parse campaign checkpoint generation: %w", err)
+	}
+	return f.Generation, nil
+}
+
+// checkFence fails with ErrFenced when the generation on disk has moved
+// past this handle's. Callers hold c.mu and the file lock.
+func (c *CampaignCheckpoint) checkFence() error {
+	disk, err := c.diskGeneration()
+	if err != nil {
+		return err
+	}
+	if disk > c.generation {
+		return fmt.Errorf("%w: this handle holds generation %d, disk records %d", ErrFenced, c.generation, disk)
+	}
+	return nil
 }
 
 // Park marks a unit as waiting out an outage and persists, so a kill during
@@ -407,12 +554,33 @@ func (c *CampaignCheckpoint) WrapCell(key string, eval core.Evaluator) core.Eval
 	}
 }
 
-// saveLocked persists the campaign file; callers hold c.mu. Maps are
-// flattened over sorted keys so the bytes on disk are deterministic.
+// saveLocked persists the campaign file; callers hold c.mu. An adopted
+// handle (generation > 0) verifies the fence first, under the file lock so
+// the generation check and the rename are atomic against a concurrent
+// Adopt: a deposed coordinator's mutation is rejected with ErrFenced and
+// the file is left exactly as the new owner wrote it.
 func (c *CampaignCheckpoint) saveLocked() error {
 	if c.path == "" {
 		return nil
 	}
+	if c.generation == 0 {
+		return c.writeLocked()
+	}
+	unlock, err := lockFile(c.path)
+	if err != nil {
+		return fmt.Errorf("robust: write campaign checkpoint: %w", err)
+	}
+	defer unlock()
+	if err := c.checkFence(); err != nil {
+		return err
+	}
+	return c.writeLocked()
+}
+
+// writeLocked marshals and atomically renames the campaign file without
+// consulting the fence; callers hold c.mu. Maps are flattened over sorted
+// keys so the bytes on disk are deterministic.
+func (c *CampaignCheckpoint) writeLocked() error {
 	f := campaignFile{
 		Version: campaignCheckpointVersion,
 		Kind:    campaignKind,
@@ -442,6 +610,7 @@ func (c *CampaignCheckpoint) saveLocked() error {
 			f.Leases[key] = c.leases[key]
 		}
 	}
+	f.Generation = c.generation
 	data, err := json.MarshalIndent(&f, "", " ")
 	if err != nil {
 		return fmt.Errorf("robust: encode campaign checkpoint: %w", err)

@@ -128,8 +128,8 @@ func TestCampaignCheckpointV2LoadsTransparently(t *testing.T) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		t.Fatal(err)
 	}
-	if f.Version != 3 {
-		t.Fatalf("migrated file version = %d, want 3", f.Version)
+	if f.Version != 4 {
+		t.Fatalf("migrated file version = %d, want 4", f.Version)
 	}
 }
 

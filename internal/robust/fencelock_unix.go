@@ -1,0 +1,31 @@
+//go:build unix
+
+package robust
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory lock on path's sidecar lock file
+// (path + ".lock") and returns the release function. flock, not an
+// O_EXCL lock file: the kernel drops an flock when the holder dies, so a
+// SIGKILLed coordinator can never wedge the campaign the way a leftover
+// lock file would. The lock serialises the fence check against the rename
+// that publishes a competing coordinator's adoption — without it a deposed
+// primary could pass the generation check and then overwrite the new
+// owner's state in the window before its own rename.
+func lockFile(path string) (func(), error) {
+	f, err := os.OpenFile(path+".lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}, nil
+}

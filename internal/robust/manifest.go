@@ -30,9 +30,11 @@ type JobUnit struct {
 // identity, owner, lifecycle status, the submitted spec verbatim (opaque to
 // this package — the serving layer owns its schema and locks it separately),
 // the campaign checkpoint file the job resumes from, and per-unit results
-// as they complete. Everything in the record is derived deterministically
-// from the spec, so a manifest rebuilt through any kill/restart schedule is
-// byte-identical to one written by an uninterrupted run.
+// as they complete. Everything except FinishedAtUnix is derived
+// deterministically from the spec, so a manifest rebuilt through any
+// kill/restart schedule is byte-identical to one written by an
+// uninterrupted run up to that one wall-clock stamp — which exists only to
+// age terminal jobs out under a retention window.
 type JobRecord struct {
 	ID         string                 `json:"id"`
 	Client     string                 `json:"client"`
@@ -42,6 +44,10 @@ type JobRecord struct {
 	Error      string                 `json:"error,omitempty"`
 	Golden     map[string][][]float64 `json:"golden,omitempty"`
 	Units      map[string]JobUnit     `json:"units,omitempty"`
+	// FinishedAtUnix is when the job reached a terminal status (Unix
+	// seconds; zero for live jobs and for records written before retention
+	// existed — those never age out).
+	FinishedAtUnix int64 `json:"finished_at_unix,omitempty"`
 }
 
 // jobsFile is the on-disk schema of the job manifest. Kind distinguishes it
@@ -174,6 +180,14 @@ func (m *JobManifest) Jobs() []JobRecord {
 // SetStatus updates a job's lifecycle status (and its error annotation —
 // empty clears it) and persists.
 func (m *JobManifest) SetStatus(id, status, errMsg string) error {
+	return m.SetStatusAt(id, status, errMsg, 0)
+}
+
+// SetStatusAt is SetStatus with an explicit finished-at stamp: pass the
+// current Unix time when moving a job to a terminal status (retention ages
+// it from there), zero for live statuses (it clears any previous stamp, so
+// a requeued job never inherits a stale one).
+func (m *JobManifest) SetStatusAt(id, status, errMsg string, finishedAtUnix int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r, ok := m.jobs[id]
@@ -182,6 +196,7 @@ func (m *JobManifest) SetStatus(id, status, errMsg string) error {
 	}
 	r.Status = status
 	r.Error = errMsg
+	r.FinishedAtUnix = finishedAtUnix
 	m.jobs[id] = r
 	return m.saveLocked()
 }

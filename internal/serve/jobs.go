@@ -120,14 +120,14 @@ func (s *Server) Start() error {
 		}
 		var req JobRequest
 		if err := json.Unmarshal(rec.Spec, &req); err != nil {
-			if serr := s.manifest.SetStatus(rec.ID, StatusFailed, "requeue: "+err.Error()); serr != nil {
+			if serr := s.manifest.SetStatusAt(rec.ID, StatusFailed, "requeue: "+err.Error(), s.clk.Now().Unix()); serr != nil {
 				return serr
 			}
 			continue
 		}
 		p, err := s.plan(req)
 		if err != nil {
-			if serr := s.manifest.SetStatus(rec.ID, StatusFailed, "requeue: "+err.Error()); serr != nil {
+			if serr := s.manifest.SetStatusAt(rec.ID, StatusFailed, "requeue: "+err.Error(), s.clk.Now().Unix()); serr != nil {
 				return serr
 			}
 			continue
@@ -145,6 +145,10 @@ func (s *Server) Start() error {
 	s.mu.Lock()
 	s.started = true
 	s.mu.Unlock()
+	if s.cfg.Retain > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
 	s.maybeStart()
 	return nil
 }
@@ -380,7 +384,13 @@ func (s *Server) setStatus(j *job, status, errMsg string) {
 	j.mu.Lock()
 	j.status = status
 	j.mu.Unlock()
-	if err := s.manifest.SetStatus(j.id, status, errMsg); err != nil {
+	var finished int64
+	if TerminalStatus(status) {
+		// Stamped on the injected clock so the retention window ages
+		// deterministically under test.
+		finished = s.clk.Now().Unix()
+	}
+	if err := s.manifest.SetStatusAt(j.id, status, errMsg, finished); err != nil {
 		s.logf("serve: job %s: persist status %s: %v", j.id, status, err)
 	}
 	j.log.append(Event{Type: "status", Job: j.id, Status: status, Message: errMsg})

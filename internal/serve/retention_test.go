@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ppatuner/internal/clock"
+	"ppatuner/internal/eval"
+	"ppatuner/internal/robust"
+)
+
+// ckptFiles lists the checkpoint files currently in a state dir.
+func ckptFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "job-*.ckpt.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestRetentionCollectsExpiredJobsAndOrphans(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1_000_000, 0))
+	dir := t.TempDir()
+	s := newTestServer(t, func(c *Config) {
+		c.StateDir = dir
+		c.Clock = fake
+		c.Retain = time.Hour
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sub, resp := postJob(t, ts, JobRequest{
+		Client: "alice", Scenario: "table2",
+		Spaces:  []string{"Area-Delay"},
+		Methods: []string{"DAC'19"},
+		Seeds:   "1",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitStatus(t, ts, sub.ID, StatusDone)
+	if n := len(ckptFiles(t, dir)); n != 1 {
+		t.Fatalf("done job left %d checkpoint files, want 1", n)
+	}
+
+	// Young terminal job: inside the window, nothing is collected and the
+	// checkpoint is not mistaken for an orphan.
+	fake.Advance(30 * time.Minute)
+	if n, err := s.CollectGarbage(); err != nil || n != 0 {
+		t.Fatalf("CollectGarbage inside window = (%d, %v), want (0, nil)", n, err)
+	}
+	if n := len(ckptFiles(t, dir)); n != 1 {
+		t.Fatalf("young job's checkpoint swept: %d files left", n)
+	}
+
+	// Past the window: the record goes first, then the file.
+	fake.Advance(31 * time.Minute)
+	if n, err := s.CollectGarbage(); err != nil || n != 1 {
+		t.Fatalf("CollectGarbage past window = (%d, %v), want (1, nil)", n, err)
+	}
+	if code := getJSON(t, ts, "/jobs/"+sub.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("collected job still served: %d", code)
+	}
+	if n := len(ckptFiles(t, dir)); n != 0 {
+		t.Fatalf("collected job left %d checkpoint files", n)
+	}
+
+	// An orphaned checkpoint — as left by a crash between record delete and
+	// file delete — is swept on the next round even with no expired jobs.
+	orphan := filepath.Join(dir, "job-999.ckpt.json")
+	if err := os.WriteFile(orphan, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.CollectGarbage(); err != nil || n != 0 {
+		t.Fatalf("orphan sweep = (%d, %v), want (0, nil)", n, err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned checkpoint not swept: %v", err)
+	}
+}
+
+func TestRetentionSparesLiveAndLegacyJobs(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1_000_000, 0))
+	release := make(chan struct{})
+	var once sync.Once
+	dir := t.TempDir()
+	s := newTestServer(t, func(c *Config) {
+		c.StateDir = dir
+		c.Clock = fake
+		c.Retain = time.Hour
+		c.Resolve = func(name string) (*eval.Scenario, error) {
+			// Park the first unit until released so the job stays running
+			// while the clock races past the retention window.
+			once.Do(func() { <-release })
+			return miniResolve(name)
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A legacy terminal record with no FinishedAtUnix stamp (written before
+	// retention existed) must never age out.
+	if err := s.manifest.Put(robust.JobRecord{
+		ID: "j0", Client: "old", Status: StatusFailed,
+		Spec: []byte(`{}`), Error: "ancient history",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, resp := postJob(t, ts, JobRequest{
+		Client: "alice", Scenario: "table2",
+		Spaces:  []string{"Area-Delay"},
+		Methods: []string{"DAC'19"},
+		Seeds:   "1",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitStatus(t, ts, sub.ID, StatusRunning)
+
+	fake.Advance(48 * time.Hour)
+	if n, err := s.CollectGarbage(); err != nil || n != 0 {
+		t.Fatalf("CollectGarbage = (%d, %v), want (0, nil): live and legacy jobs are not collectable", n, err)
+	}
+	if _, ok := s.manifest.Get("j0"); !ok {
+		t.Fatal("legacy record without a finish stamp was collected")
+	}
+	if _, ok := s.manifest.Get(sub.ID); !ok {
+		t.Fatal("running job was collected")
+	}
+
+	close(release)
+	waitStatus(t, ts, sub.ID, StatusDone)
+
+	// Now the job finishes at the *advanced* clock, so it only expires an
+	// hour from here — then collection takes it, while the stampless legacy
+	// record still survives.
+	fake.Advance(2 * time.Hour)
+	n, err := s.CollectGarbage()
+	if err != nil || n != 1 {
+		t.Fatalf("CollectGarbage after finish+expiry = (%d, %v), want (1, nil)", n, err)
+	}
+	if _, ok := s.manifest.Get(sub.ID); ok {
+		t.Fatal("expired done job survived collection")
+	}
+	if _, ok := s.manifest.Get("j0"); !ok {
+		t.Fatal("legacy record collected on the second pass")
+	}
+}

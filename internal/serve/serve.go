@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ppatuner/internal/clock"
 	"ppatuner/internal/core"
@@ -74,6 +75,12 @@ type Config struct {
 	// stack (breaker dwells, chaos windows). Nil means the wall clock;
 	// tests inject a deterministic fake.
 	Clock clock.Clock
+	// Retain, when positive, garbage-collects terminal jobs (done, failed,
+	// cancelled) once they have been terminal for this long: the manifest
+	// record is dropped first, then the job's checkpoint file, so a crash
+	// mid-collection can orphan a file (swept next round) but never a
+	// record. Zero keeps everything forever (the previous behaviour).
+	Retain time.Duration
 	// Resolve maps a scenario name to its benchmark scenario. Nil means
 	// eval.StandardScenario (the paper's scenarios). Resolution is cached
 	// per name for the server's lifetime — scenario construction

@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+)
+
+// Backoff is a capped exponential backoff with deterministic jitter: the
+// delay for attempt n doubles from Base up to Cap, scaled into [1/2, 1) by
+// a hash of (Salt, n). Deterministic, not random, for the same reason
+// everything else in this package is: a reconnection storm is a scenario
+// tests must replay exactly, and the package-level no-global-rand policy
+// holds. Distinct salts (worker IDs) still de-synchronise a fleet the way
+// random jitter would.
+type Backoff struct {
+	// Base is the first retry delay (default 250ms).
+	Base time.Duration
+	// Cap bounds the exponential growth (default 5s).
+	Cap time.Duration
+	// Salt individualises the jitter stream — pass the worker ID so
+	// workers that lost the same coordinator at the same instant do not
+	// redial in lockstep.
+	Salt string
+}
+
+// Delay returns the pause before retry attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	ceil := b.Cap
+	if ceil <= 0 {
+		ceil = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(b.Salt))
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(attempt))
+	_, _ = h.Write(n[:])
+	frac := float64(h.Sum64()%1024) / 1024 // [0, 1)
+	half := d / 2
+	return half + time.Duration(float64(half)*frac)
+}

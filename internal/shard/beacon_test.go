@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ppatuner/internal/clock"
+)
+
+func TestBeaconAnnounceAdvancesAndContinuesSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.beacon")
+	b1 := NewBeacon(path)
+	for i := 0; i < 3; i++ {
+		if err := b1.Announce(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok, err := b1.Read()
+	if err != nil || !ok {
+		t.Fatalf("Read = (%+v, %v, %v)", st, ok, err)
+	}
+	if st.Generation != 1 || st.Seq != 3 {
+		t.Fatalf("state = %+v, want gen 1 seq 3", st)
+	}
+
+	// A promoted standby's first announce continues the deposed primary's
+	// sequence instead of restarting it — a later standby must never
+	// mistake a seq reset for progress.
+	b2 := NewBeacon(path)
+	if err := b2.Announce(2); err != nil {
+		t.Fatal(err)
+	}
+	st, _, _ = b2.Read()
+	if st.Generation != 2 || st.Seq != 4 {
+		t.Fatalf("state after takeover announce = %+v, want gen 2 seq 4", st)
+	}
+}
+
+func TestBeaconMuteSilencesAnnouncements(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.beacon")
+	b := NewBeacon(path)
+	if err := b.Announce(1); err != nil {
+		t.Fatal(err)
+	}
+	before, _, _ := b.Read()
+	b.Mute()
+	if err := b.Announce(1); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := b.Read()
+	if after != before {
+		t.Fatalf("muted announce changed the beacon: %+v -> %+v", before, after)
+	}
+}
+
+func TestBeaconWatchPromotesOnSilence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.beacon")
+	b := NewBeacon(path)
+	fc := clock.NewFake(time.Unix(0, 0))
+	// No beacon file at all: the primary died before its first announce.
+	// The takeover clock runs from the start of the watch.
+	if err := b.Watch(context.Background(), fc, time.Second, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := fc.Now().Sub(time.Unix(0, 0)); elapsed < 10*time.Second {
+		t.Fatalf("promoted after only %v of virtual silence, want >= 10s", elapsed)
+	}
+}
+
+func TestBeaconWatchHonoursCancellation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.beacon")
+	b := NewBeacon(path)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.Watch(ctx, clock.NewFake(time.Unix(0, 0)), time.Second, time.Hour); err == nil {
+		t.Fatal("cancelled watch returned nil — would promote spuriously")
+	}
+}
+
+// announceClock announces the beacon on each of its first n sleeps — a
+// deterministic stand-in for a healthy primary running concurrently with
+// the standby's watch.
+type announceClock struct {
+	*clock.Fake
+	beacon *Beacon
+	left   int
+}
+
+func (a *announceClock) Sleep(ctx context.Context, d time.Duration) error {
+	if a.left > 0 {
+		a.left--
+		if err := a.beacon.Announce(1); err != nil {
+			return err
+		}
+	}
+	return a.Fake.Sleep(ctx, d)
+}
+
+func TestBeaconWatchDefersToLivePrimary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.beacon")
+	b := NewBeacon(path)
+	origin := time.Unix(0, 0)
+	ac := &announceClock{Fake: clock.NewFake(origin), beacon: NewBeacon(path), left: 20}
+	if err := b.Watch(context.Background(), ac, time.Second, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 20 polls saw progress (each resets the silence window), then 5 more
+	// of silence: promotion can only have happened after ~25 virtual
+	// seconds, proving announcements defer the takeover.
+	if elapsed := ac.Now().Sub(origin); elapsed < 25*time.Second {
+		t.Fatalf("promoted after %v despite a live primary announcing for 20s", elapsed)
+	}
+}

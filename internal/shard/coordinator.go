@@ -2,14 +2,23 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"ppatuner/internal/clock"
 	"ppatuner/internal/eval"
 	"ppatuner/internal/robust"
 )
+
+// ErrDeposed reports that a newer coordinator generation adopted the
+// campaign checkpoint while this coordinator was running: its fenced write
+// was rejected, so it must stop coordinating — the standby that deposed it
+// owns the campaign now. The rejected write was never applied; the only
+// state this coordinator loses is wall-clock time.
+var ErrDeposed = errors.New("shard: coordinator deposed by a newer generation")
 
 // Options configures a Coordinator.
 type Options struct {
@@ -33,6 +42,21 @@ type Options struct {
 	// Log, when non-nil, receives every lease transition (granted, expired,
 	// reclaimed, zombie rejected, merged) as a structured KindLease event.
 	Log *robust.FailureLog
+	// AdoptLeases re-arms the checkpoint's persisted lease records as
+	// active leases (recorded epoch and holder, fresh TTL) instead of
+	// queueing those units for an immediate re-grant — standby takeover.
+	// The worker holding the unit either reconnects (its hello re-attaches
+	// it and its result completes the unit under the re-armed epoch) or
+	// stays gone (the TTL expires and the unit requeues as usual). The
+	// default, false, is the boot-resume behaviour: only the epoch
+	// high-water marks are restored and every incomplete unit queues.
+	AdoptLeases bool
+	// Beacon, when non-nil, is announced (generation + advancing sequence
+	// number) every BeaconEvery while Run is live, so a standby watching
+	// the file can tell a healthy primary from a dead one.
+	Beacon *Beacon
+	// BeaconEvery paces beacon announcements (default LeaseTTL/3).
+	BeaconEvery time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -44,6 +68,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.Clock == nil {
 		o.Clock = clock.Real()
+	}
+	if o.BeaconEvery <= 0 {
+		o.BeaconEvery = o.LeaseTTL / 3
 	}
 }
 
@@ -83,6 +110,9 @@ type Coordinator struct {
 	opt    Options
 	ck     *robust.CampaignCheckpoint
 	ledger *Ledger
+	// gen is the checkpoint generation this coordinator writes under
+	// (zero when the checkpoint was never adopted); welcomes carry it.
+	gen uint64
 
 	units    []eval.Unit
 	keys     []string
@@ -117,10 +147,13 @@ func New(opt Options) (*Coordinator, error) {
 	if co.ck == nil {
 		co.ck = robust.NewCampaignCheckpoint("")
 	}
+	co.gen = co.ck.Generation()
 	c := opt.Campaign
 	co.units = c.Units()
 	co.results = make([]eval.UnitResult, len(co.units))
 	co.done = make([]bool, len(co.units))
+	leases := co.ck.LeaseRecords()
+	now := opt.Clock.Now()
 	for i, u := range co.units {
 		key := c.UnitKey(u)
 		co.keys = append(co.keys, key)
@@ -129,12 +162,23 @@ func New(opt Options) (*Coordinator, error) {
 		if cell, ok := co.ck.Done(key); ok {
 			co.results[i] = eval.UnitResult{HV: cell.HV, ADRS: cell.ADRS, Runs: cell.Runs}
 			co.done[i] = true
-		} else {
-			co.queue = append(co.queue, i)
-			co.remaining++
+			continue
 		}
+		co.remaining++
+		if lr, held := leases[key]; opt.AdoptLeases && held && lr.Holder != "" {
+			// Takeover: the unit is out with a worker that may still be
+			// computing. Re-arm its lease instead of queueing a re-grant;
+			// expiry requeues it if the worker never resurfaces.
+			co.ledger.RestoreActive(key, lr.Epoch, lr.Holder, now, opt.LeaseTTL)
+			co.logLease("lease adopted: %s epoch %d held by %s (TTL re-armed)", key, lr.Epoch, lr.Holder)
+			continue
+		}
+		co.queue = append(co.queue, i)
 	}
-	for key, lr := range co.ck.LeaseRecords() {
+	// Epoch high-water marks restore for every recorded key — including
+	// units of other campaigns sharing the checkpoint file — so re-grants
+	// always advance past anything ever granted.
+	for key, lr := range leases {
 		co.ledger.Restore(key, lr.Epoch)
 	}
 	return co, nil
@@ -160,6 +204,30 @@ func (co *Coordinator) Run(ctx context.Context, conns <-chan Conn) (*eval.Table,
 	defer close(readersDone)
 	defer co.shutdownWorkers()
 
+	// Announce liveness while the loop runs: a standby watching the beacon
+	// promotes only after the sequence number stops advancing. The
+	// goroutine is joined before Run returns, so a finished (or deposed)
+	// coordinator stops announcing promptly.
+	if co.opt.Beacon != nil {
+		bctx, bcancel := context.WithCancel(ctx)
+		var bwg sync.WaitGroup
+		bwg.Add(1)
+		go func() {
+			defer bwg.Done()
+			for {
+				// Best-effort: an announce failure must not kill the
+				// campaign, and silence only errs toward a takeover —
+				// which fencing makes safe.
+				_ = co.opt.Beacon.Announce(co.gen)
+				if co.opt.Clock.Sleep(bctx, co.opt.BeaconEvery) != nil {
+					return
+				}
+			}
+		}()
+		defer bwg.Wait()
+		defer bcancel()
+	}
+
 	var alarmCancel context.CancelFunc
 	var alarmAt time.Time
 	alarmCh := make(chan struct{}, 1)
@@ -172,10 +240,10 @@ func (co *Coordinator) Run(ctx context.Context, conns <-chan Conn) (*eval.Table,
 	for co.remaining > 0 {
 		now := co.opt.Clock.Now()
 		if err := co.expire(now); err != nil {
-			return nil, err
+			return nil, co.asDeposed(err)
 		}
 		if err := co.assign(now); err != nil {
-			return nil, err
+			return nil, co.asDeposed(err)
 		}
 		if co.remaining == 0 {
 			break
@@ -227,7 +295,7 @@ func (co *Coordinator) Run(ctx context.Context, conns <-chan Conn) (*eval.Table,
 			}(c)
 		case ev := <-events:
 			if err := co.handle(ev); err != nil {
-				return nil, err
+				return nil, co.asDeposed(err)
 			}
 		}
 	}
@@ -403,21 +471,53 @@ func (co *Coordinator) handle(ev event) error {
 		if w.id == "" {
 			w.id = fmt.Sprintf("worker-%d", co.workerIndex(w))
 		}
+		// A reconnecting worker names the lease it believes it holds. When
+		// the ledger agrees — same epoch, same holder, still active — the
+		// worker re-attaches and keeps computing; the unit is never
+		// double-granted. Any disagreement (expired and re-granted, or a
+		// different holder) is ignored: the worker's eventual result is
+		// rejected as a zombie and it idles back into the grant pool.
+		if msg.Key != "" {
+			if epoch, holder, ok := co.ledger.Current(msg.Key); ok && epoch == msg.Epoch && holder == w.id {
+				w.key = msg.Key
+				co.ledger.Renew(msg.Key, msg.Epoch, now, co.opt.LeaseTTL)
+				co.logLease("worker %s re-attached to %s epoch %d", w.id, msg.Key, epoch)
+			} else {
+				co.logLease("re-hello from %s for %s epoch %d ignored (lease not current)", w.id, msg.Key, msg.Epoch)
+			}
+		}
+		if err := w.conn.Send(Msg{Type: MsgWelcome, Generation: co.gen}); err != nil {
+			return co.workerLost(w, now)
+		}
 	case MsgObs:
 		idx, ok := co.idxByKey[msg.Key]
-		if !ok || co.done[idx] || msg.Obs == nil {
+		if !ok || msg.Obs == nil {
 			return nil
 		}
-		if msg.Epoch != co.ledger.LastEpoch(msg.Key) {
-			co.ledger.CountZombieObs()
+		if !co.done[idx] {
+			if msg.Epoch != co.ledger.LastEpoch(msg.Key) {
+				co.ledger.CountZombieObs()
+			}
+			if err := co.ck.AddPartialObservation(msg.Key, *msg.Obs); err != nil {
+				return fmt.Errorf("shard: merging observation from %s: %w", w.id, err)
+			}
 		}
-		if err := co.ck.AddPartialObservation(msg.Key, *msg.Obs); err != nil {
-			return fmt.Errorf("shard: merging observation from %s: %w", w.id, err)
+		// Acknowledge even observations for already-done units: the worker
+		// only needs to know it can drop the retransmit buffer entry.
+		if err := w.conn.Send(Msg{Type: MsgObsAck, Key: msg.Key, Index: msg.Obs.Index}); err != nil {
+			return co.workerLost(w, now)
 		}
 	case MsgHeartbeat:
 		co.ledger.Renew(msg.Key, msg.Epoch, now, co.opt.LeaseTTL)
 	case MsgResult:
-		return co.mergeResult(w, msg)
+		if err := co.mergeResult(w, msg); err != nil {
+			return err
+		}
+		// Accepted, duplicate and zombie results are acknowledged alike:
+		// in every case the worker is done retransmitting this unit.
+		if err := w.conn.Send(Msg{Type: MsgResultAck, Key: msg.Key, Epoch: msg.Epoch}); err != nil {
+			return co.workerLost(w, now)
+		}
 	case MsgFail:
 		return co.unitFailed(w, msg, now)
 	}
@@ -545,6 +645,17 @@ func (co *Coordinator) shutdownWorkers() {
 	for _, w := range co.workers {
 		_ = w.conn.Close()
 	}
+}
+
+// asDeposed recognises a fenced checkpoint write — a standby adopted the
+// campaign out from under this coordinator — and labels the abort as a
+// deposition, logging it as a lease event. Everything else passes through.
+func (co *Coordinator) asDeposed(err error) error {
+	if !errors.Is(err, robust.ErrFenced) {
+		return err
+	}
+	co.logLease("deposed: fenced checkpoint write rejected, standing down: %v", err)
+	return fmt.Errorf("%w: %v", ErrDeposed, err)
 }
 
 // logLease records one lease-machinery transition in the failure log.

@@ -31,6 +31,9 @@ type Stats struct {
 	// StaleHeartbeats counts renewals ignored because the lease they named
 	// was no longer current.
 	StaleHeartbeats int
+	// Adopted counts persisted leases re-armed as active by a standby
+	// taking over a deposed coordinator's checkpoint.
+	Adopted int
 }
 
 // lease is one active grant.
@@ -65,6 +68,18 @@ func (l *Ledger) Restore(key string, epoch uint64) {
 	if epoch > l.epochs[key] {
 		l.epochs[key] = epoch
 	}
+}
+
+// RestoreActive re-arms a persisted lease as active under its recorded
+// epoch and holder, with a fresh TTL from now — standby takeover. Unlike
+// Grant it does not advance the epoch: the worker out there still computes
+// under the recorded one, and re-arming (rather than re-granting) is what
+// lets its eventual result pass the current-epoch check. The high-water
+// mark is raised like Restore.
+func (l *Ledger) RestoreActive(key string, epoch uint64, holder string, now time.Time, ttl time.Duration) {
+	l.Restore(key, epoch)
+	l.active[key] = &lease{epoch: epoch, holder: holder, deadline: now.Add(ttl)}
+	l.stats.Adopted++
 }
 
 // Grant leases key to holder until now+ttl and returns the new epoch —

@@ -101,3 +101,33 @@ func TestLedgerHoldings(t *testing.T) {
 		t.Fatalf("WorkersLost = %d", l.Stats().WorkersLost)
 	}
 }
+
+func TestLedgerRestoreActiveAdoptsLease(t *testing.T) {
+	l := NewLedger()
+	t0 := time.Unix(100, 0)
+	l.RestoreActive("u1", 4, "w2", t0, 30*time.Second)
+
+	// The adopted lease is current at the recorded epoch and holder, so
+	// the surviving worker's re-hello and eventual result pass the
+	// current-epoch check unchanged.
+	epoch, holder, ok := l.Current("u1")
+	if !ok || epoch != 4 || holder != "w2" {
+		t.Fatalf("Current = (%d, %q, %v), want (4, w2, true)", epoch, holder, ok)
+	}
+	if at, ok := l.NextDeadline(); !ok || !at.Equal(t0.Add(30*time.Second)) {
+		t.Fatalf("deadline = (%v, %v), want re-armed TTL from adoption", at, ok)
+	}
+	if st := l.Stats(); st.Adopted != 1 {
+		t.Fatalf("stats = %+v, want Adopted 1", st)
+	}
+
+	// Epoch high-water restored too: if the worker never resurfaces, the
+	// TTL expires and the re-grant advances past the adopted epoch.
+	if got := l.Expired(t0.Add(31 * time.Second)); len(got) != 1 || got[0] != "u1" {
+		t.Fatalf("Expired = %v, want [u1]", got)
+	}
+	l.Reclaim("u1")
+	if e := l.Grant("u1", "w3", t0.Add(32*time.Second), 30*time.Second); e != 5 {
+		t.Fatalf("re-grant epoch = %d, want 5 (past the adopted 4)", e)
+	}
+}

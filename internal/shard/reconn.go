@@ -1,0 +1,337 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ppatuner/internal/clock"
+)
+
+// ReconnOptions configures Connect.
+type ReconnOptions struct {
+	// Dial establishes one coordinator connection. Connect and every
+	// reconnection round call it anew; a closure may rotate through
+	// several addresses (primary first, standby next) across calls.
+	Dial func() (Conn, error)
+	// Backoff paces redial attempts within one outage.
+	Backoff Backoff
+	// MaxDown bounds one continuous outage: when no dial has succeeded
+	// for this long, the connection fails permanently (default 2m). Set
+	// it past the standby's takeover window, or workers give up before
+	// the new primary starts listening.
+	MaxDown time.Duration
+	// Clock paces backoff sleeps; defaults to the wall clock.
+	Clock clock.Clock
+}
+
+// Reconn is a Conn that survives coordinator fail-over. On any transport
+// error it redials (capped exponential backoff, deterministic jitter),
+// re-handshakes — a hello naming the lease the worker still holds, so the
+// new coordinator re-attaches it instead of double-granting the unit — and
+// re-streams every observation and result the old coordinator never
+// acknowledged. The coordinator's index-deduplicated merge and
+// duplicate-result discard make the re-stream idempotent, so a worker
+// driven through a Reconn produces byte-identical campaign state no matter
+// how many coordinators died under it.
+//
+// Reconn tracks the session state it needs by watching the traffic pass
+// through: the hello Send becomes the re-handshake template, a grant Recv
+// records the held lease, and welcome/ack messages are consumed here (they
+// are connection bookkeeping, not worker work — RunWorker never sees
+// them).
+type Reconn struct {
+	opt ReconnOptions
+	ctx context.Context
+
+	// reMu single-flights reconnection: the first goroutine to hit a dead
+	// conn rebuilds it while later ones queue behind the mutex and then
+	// discover a fresh conn version.
+	reMu sync.Mutex
+
+	mu        sync.Mutex
+	conn      Conn
+	version   int
+	closed    bool
+	hello     Msg
+	heldKey   string
+	heldEpoch uint64
+	gen       uint64
+	unacked   []Msg
+}
+
+// Connect dials the coordinator, retrying with the backoff policy until
+// MaxDown elapses — so a worker started before its coordinator listens
+// simply waits for it — and returns the self-healing connection.
+func Connect(ctx context.Context, opt ReconnOptions) (*Reconn, error) {
+	if opt.Dial == nil {
+		return nil, errors.New("shard: Connect requires a Dial function")
+	}
+	if opt.Clock == nil {
+		opt.Clock = clock.Real()
+	}
+	if opt.MaxDown <= 0 {
+		opt.MaxDown = 2 * time.Minute
+	}
+	r := &Reconn{opt: opt, ctx: ctx}
+	c, err := r.establish(false)
+	if err != nil {
+		return nil, err
+	}
+	r.conn = c
+	r.version = 1
+	return r, nil
+}
+
+// Generation returns the coordinator generation from the most recent
+// welcome (zero before any welcome arrives).
+func (r *Reconn) Generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// Send transmits m, transparently reconnecting on failure. Observations
+// and results are buffered until the coordinator acknowledges them; a
+// reconnection re-streams the buffer as part of the handshake, so a Send
+// that returns nil is guaranteed delivered to *some* coordinator
+// generation eventually or the connection fails permanently.
+func (r *Reconn) Send(m Msg) error {
+	r.note(m)
+	for {
+		conn, version, err := r.current()
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(m); err == nil {
+			return nil
+		}
+		if _, _, err := r.reconnect(version); err != nil {
+			return err
+		}
+		switch m.Type {
+		case MsgObs, MsgResult:
+			// Already re-streamed by the reconnect handshake.
+			return nil
+		case MsgHello:
+			// The handshake re-introduced the worker.
+			return nil
+		case MsgHeartbeat:
+			// Stale the moment the old conn died; the next tick renews.
+			return nil
+		default:
+			// Anything else (fail reports) retries on the new conn.
+		}
+	}
+}
+
+// Recv returns the next message from the current coordinator, redialling
+// through connection loss. Welcome and acknowledgement messages are
+// consumed internally.
+func (r *Reconn) Recv() (Msg, error) {
+	for {
+		conn, version, err := r.current()
+		if err != nil {
+			return Msg{}, err
+		}
+		m, err := conn.Recv()
+		if err != nil {
+			if _, _, rerr := r.reconnect(version); rerr != nil {
+				return Msg{}, rerr
+			}
+			continue
+		}
+		switch m.Type {
+		case MsgWelcome:
+			r.mu.Lock()
+			r.gen = m.Generation
+			r.mu.Unlock()
+		case MsgObsAck:
+			r.ackObs(m.Key, m.Index)
+		case MsgResultAck:
+			r.ackResult(m.Key)
+		case MsgGrant:
+			r.mu.Lock()
+			r.heldKey, r.heldEpoch = m.Key, m.Epoch
+			r.mu.Unlock()
+			return m, nil
+		default:
+			return m, nil
+		}
+	}
+}
+
+// Close tears the connection down for good; no further reconnection.
+func (r *Reconn) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	conn := r.conn
+	r.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// note updates session bookkeeping from an outbound message.
+func (r *Reconn) note(m Msg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch m.Type {
+	case MsgHello:
+		r.hello = m
+	case MsgObs, MsgResult:
+		r.unacked = append(r.unacked, m)
+	case MsgFail:
+		if r.heldKey == m.Key {
+			r.heldKey, r.heldEpoch = "", 0
+		}
+	}
+}
+
+// ackObs drops one acknowledged observation from the retransmit buffer.
+func (r *Reconn) ackObs(key string, index int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, m := range r.unacked {
+		if m.Type == MsgObs && m.Key == key && m.Obs != nil && m.Obs.Index == index {
+			r.unacked = append(r.unacked[:i], r.unacked[i+1:]...)
+			return
+		}
+	}
+}
+
+// ackResult drops everything buffered for the unit — the coordinator has
+// durably handled its result, so neither the result nor any straggler
+// observation needs retransmitting — and releases the held lease.
+func (r *Reconn) ackResult(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.unacked[:0]
+	for _, m := range r.unacked {
+		if m.Key != key {
+			kept = append(kept, m)
+		}
+	}
+	r.unacked = kept
+	if r.heldKey == key {
+		r.heldKey, r.heldEpoch = "", 0
+	}
+}
+
+// current returns the live conn and its version.
+func (r *Reconn) current() (Conn, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, 0, io.ErrClosedPipe
+	}
+	return r.conn, r.version, nil
+}
+
+// reconnect replaces a dead conn (identified by the version the caller
+// saw) with a freshly dialled, re-handshaken one. Single-flighted: callers
+// racing in behind the first just observe the bumped version and return
+// the new conn.
+func (r *Reconn) reconnect(failedVersion int) (Conn, int, error) {
+	r.reMu.Lock()
+	defer r.reMu.Unlock()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, 0, io.ErrClosedPipe
+	}
+	if r.version > failedVersion {
+		c, v := r.conn, r.version
+		r.mu.Unlock()
+		return c, v, nil
+	}
+	old := r.conn
+	r.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	//ppalint:allow lockio reMu IS the single-flight: exactly one caller may dial/backoff at a time, the rest block here until the winner installs the new conn
+	conn, err := r.establish(true)
+	if err != nil {
+		r.mu.Lock()
+		r.closed = true
+		r.mu.Unlock()
+		return nil, 0, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = conn.Close()
+		return nil, 0, io.ErrClosedPipe
+	}
+	r.conn = conn
+	r.version++
+	v := r.version
+	r.mu.Unlock()
+	return conn, v, nil
+}
+
+// establish dials until a connection (optionally including the
+// re-handshake) succeeds, pacing attempts with the backoff policy and
+// giving up after MaxDown of continuous failure. Called with reMu held
+// during reconnection; Connect calls it before the Reconn is shared.
+func (r *Reconn) establish(handshake bool) (Conn, error) {
+	clk := r.opt.Clock
+	start := clk.Now()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if down := clk.Now().Sub(start); down >= r.opt.MaxDown {
+				return nil, fmt.Errorf("shard: coordinator unreachable for %v (last error: %v)", down, lastErr)
+			}
+			if err := clk.Sleep(r.ctx, r.opt.Backoff.Delay(attempt-1)); err != nil {
+				return nil, err
+			}
+		}
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return nil, io.ErrClosedPipe
+		}
+		c, err := r.opt.Dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !handshake {
+			return c, nil
+		}
+		if err := r.sendHandshake(c); err != nil {
+			lastErr = err
+			_ = c.Close()
+			continue
+		}
+		return c, nil
+	}
+}
+
+// sendHandshake re-introduces the worker to a fresh coordinator: the
+// original hello extended with the lease it still holds, then the unacked
+// observation/result backlog in original send order.
+func (r *Reconn) sendHandshake(c Conn) error {
+	r.mu.Lock()
+	hello := r.hello
+	hello.Type = MsgHello
+	hello.Key, hello.Epoch = r.heldKey, r.heldEpoch
+	backlog := append([]Msg(nil), r.unacked...)
+	r.mu.Unlock()
+	if err := c.Send(hello); err != nil {
+		return err
+	}
+	for _, m := range backlog {
+		if err := c.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -27,7 +27,14 @@ type MsgType string
 
 const (
 	// MsgHello introduces a worker (worker → coordinator): Worker names it.
+	// A reconnecting worker also carries Key and Epoch — the lease it
+	// believes it still holds — and the coordinator re-attaches it when the
+	// ledger agrees, so the unit is neither double-granted nor forfeited.
 	MsgHello MsgType = "hello"
+	// MsgWelcome answers a hello (coordinator → worker): Generation is the
+	// coordinator's checkpoint-fencing generation, so a worker knows which
+	// incarnation of the control plane it is speaking to.
+	MsgWelcome MsgType = "welcome"
 	// MsgGrant leases a unit to a worker (coordinator → worker): Key, Epoch,
 	// Unit, LeaseMillis, the RNG state to start from and the observations to
 	// replay.
@@ -35,6 +42,15 @@ const (
 	// MsgObs streams one fresh observation (worker → coordinator): Key,
 	// Epoch, Obs.
 	MsgObs MsgType = "obs"
+	// MsgObsAck acknowledges a merged (or knowingly discarded) observation
+	// (coordinator → worker): Key, Index. A reconnecting worker re-streams
+	// only unacknowledged observations; the index-deduplicated merge makes
+	// any overlap idempotent.
+	MsgObsAck MsgType = "obs_ack"
+	// MsgResultAck acknowledges a handled result (coordinator → worker):
+	// Key, Epoch. Receipt clears the worker's retransmit buffer for the
+	// unit.
+	MsgResultAck MsgType = "result_ack"
 	// MsgHeartbeat renews a lease (worker → coordinator): Key, Epoch.
 	MsgHeartbeat MsgType = "heartbeat"
 	// MsgResult completes a unit (worker → coordinator): Key, Epoch, Result,
@@ -63,6 +79,13 @@ type Msg struct {
 	RandEnd     []byte               `json:"rand_end,omitempty"`
 	Error       string               `json:"error,omitempty"`
 	Parked      bool                 `json:"parked,omitempty"`
+	// Generation is the coordinator's checkpoint-fencing generation
+	// (welcome messages).
+	Generation uint64 `json:"generation,omitempty"`
+	// Index names the acknowledged observation (obs_ack messages). The
+	// zero value means pool index 0 — JSON omits it, and the zero-value
+	// default on decode round-trips it correctly.
+	Index int `json:"index,omitempty"`
 }
 
 // Conn is one coordinator↔worker message stream. Send must be safe for

@@ -43,6 +43,13 @@ type WorkerOptions struct {
 // every fresh observation is streamed the moment the evaluator pays for
 // it, so a later SIGKILL forfeits only wall-clock time — never results.
 //
+// Receiving runs on a dedicated goroutine for the whole session, not just
+// between units: the coordinator acknowledges every observation and
+// result (and a Reconn uses those acks to trim its retransmit buffer), so
+// inbound traffic must drain while a unit computes or long units would
+// stall both sides' send windows. RunWorker closes conn on return to
+// release that goroutine.
+//
 // Unit failures are reported, not returned: a breaker refusal
 // (robust.ErrBreakerOpen) ships as a parked failure for the coordinator to
 // requeue, anything else as a hard failure for it to abort on. RunWorker
@@ -60,24 +67,57 @@ func RunWorker(ctx context.Context, conn Conn, opt WorkerOptions) error {
 	if err := conn.Send(Msg{Type: MsgHello, Worker: opt.ID}); err != nil {
 		return err
 	}
+
+	msgs := make(chan Msg)
+	errc := make(chan error, 1)
+	readerDone := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				select {
+				case errc <- err:
+				case <-readerDone:
+				}
+				return
+			}
+			select {
+			case msgs <- m:
+			case <-readerDone:
+				return
+			}
+		}
+	}()
+	// LIFO: close the conn first (unblocks a Recv in flight), then release
+	// the reader's channel sends, then join it.
+	defer wg.Wait()
+	defer close(readerDone)
+	defer conn.Close()
+
 	scenarios := map[string]*eval.Scenario{}
 	for {
-		msg, err := conn.Recv()
-		if err != nil {
-			if errors.Is(err, io.EOF) || ctx.Err() != nil {
+		select {
+		case <-ctx.Done():
+			return nil
+		case err := <-errc:
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || ctx.Err() != nil {
 				return nil
 			}
 			return err
-		}
-		switch msg.Type {
-		case MsgShutdown:
-			return nil
-		case MsgGrant:
-			if err := runGrant(ctx, conn, opt, scenarios, msg); err != nil {
-				return err
+		case msg := <-msgs:
+			switch msg.Type {
+			case MsgShutdown:
+				return nil
+			case MsgGrant:
+				if err := runGrant(ctx, conn, opt, scenarios, msg); err != nil {
+					return err
+				}
+			default:
+				// Unknown types are ignored for forward compatibility.
 			}
-		default:
-			// Unknown types are ignored for forward compatibility.
 		}
 	}
 }
